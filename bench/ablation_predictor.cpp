@@ -1,0 +1,88 @@
+/// \file ablation_predictor.cpp
+/// \brief Ablation: SZ-1.4-style pure Lorenzo vs SZ-2-style hybrid
+/// (Lorenzo/regression per tile) as TAC's compression substrate.
+///
+/// Two questions: (1) what does the hybrid predictor buy on the Nyx-like
+/// fields, and (2) does it change the GSP-vs-ZF picture on the
+/// high-density level (EXPERIMENTS.md documents that pure Lorenzo
+/// neutralizes zero padding on aligned slabs). Measured answer: on these
+/// block-aligned masks the hybrid's tile selector selects Lorenzo at the
+/// zero boundaries too (mixed tiles fit planes poorly), so the deviation
+/// is geometry-driven, not predictor-driven.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace tac;
+
+struct Row {
+  double bitrate = 0;
+  double psnr = 0;
+};
+
+Row run(const amr::AmrDataset& ds, const Array3D<double>& uniform,
+        sz::Predictor predictor,
+        std::optional<core::Strategy> forced = std::nullopt) {
+  core::TacConfig cfg;
+  cfg.sz.mode = sz::ErrorBoundMode::kAbsolute;
+  cfg.sz.error_bound = 1e8;
+  cfg.sz.predictor = predictor;
+  cfg.force_strategy = forced;
+  const auto compressed = core::tac_compress(ds, cfg);
+  const auto recon = core::decompress_any(compressed.bytes);
+  const auto uniform_recon = amr::compose_uniform(recon);
+  Row r;
+  r.bitrate = analysis::bit_rate(ds.total_valid(), compressed.bytes.size());
+  r.psnr = analysis::distortion(uniform.span(), uniform_recon.span()).psnr;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: Lorenzo (SZ1.4-style) vs hybrid Lorenzo+regression "
+      "(SZ2-style) substrate");
+
+  std::printf("%-20s %12s %12s\n", "dataset (hybrid vs lorenzo)",
+              "lorenzo", "hybrid");
+  for (const double density : {0.23, 0.58, 0.63}) {
+    simnyx::GeneratorConfig gc;
+    gc.finest_dims = {64, 64, 64};
+    gc.level_densities = {density, 1.0 - density};
+    gc.region_size = 8;
+    const auto ds = simnyx::generate_baryon_density(gc);
+    const auto uniform = amr::compose_uniform(ds);
+    const Row lor = run(ds, uniform, sz::Predictor::kLorenzo);
+    const Row hyb = run(ds, uniform, sz::Predictor::kHybrid);
+    std::printf("d=%-17.2f %9.3f bpv %9.3f bpv\n", density, lor.bitrate,
+                hyb.bitrate);
+  }
+
+  std::printf("\nGSP vs ZF on the z10-like coarse level under each "
+              "substrate (the Figure 12 deviation study):\n");
+  simnyx::GeneratorConfig gc;
+  gc.finest_dims = {128, 128, 128};
+  gc.level_densities = {0.23, 0.77};
+  auto full = simnyx::generate_baryon_density(gc);
+  std::vector<amr::AmrLevel> one;
+  one.push_back(full.level(1));
+  const amr::AmrDataset coarse("coarse", std::move(one));
+  const auto uniform = amr::compose_uniform(coarse);
+
+  std::printf("%-10s %12s %12s %14s\n", "predictor", "ZF (bpv)",
+              "GSP (bpv)", "GSP gain");
+  for (const auto predictor :
+       {sz::Predictor::kLorenzo, sz::Predictor::kHybrid}) {
+    const Row zf = run(coarse, uniform, predictor, core::Strategy::kZF);
+    const Row gsp = run(coarse, uniform, predictor, core::Strategy::kGSP);
+    std::printf("%-10s %12.3f %12.3f %+13.2f%%\n",
+                predictor == sz::Predictor::kLorenzo ? "lorenzo" : "hybrid",
+                zf.bitrate, gsp.bitrate,
+                100.0 * (zf.bitrate / gsp.bitrate - 1.0));
+  }
+  return 0;
+}

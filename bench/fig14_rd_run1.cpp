@@ -1,0 +1,40 @@
+/// \file fig14_rd_run1.cpp
+/// \brief Reproduces Figure 14: rate-distortion of TAC vs the 1D, zMesh
+/// and 3D baselines on the four run-1 datasets (Z10, Z5, Z3, Z2).
+///
+/// Paper result: TAC dominates 1D and zMesh everywhere; zMesh trails even
+/// the naive 1D baseline on tree-structured data; the 3D baseline is
+/// competitive — and slightly ahead at low bit-rates — when the finest
+/// level is dense (Z3/Z2, d >= 63%), with TAC overtaking as bit-rate grows.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace tac;
+  bench::print_header(
+      "Figure 14: rate-distortion on run1 (Z10, Z5, Z3, Z2)\n"
+      "paper: TAC > 1D > zMesh; 3D baseline competitive at high finest "
+      "density");
+
+  const auto presets = simnyx::table1_presets(/*scale_shift=*/2);
+  for (std::size_t i = 0; i < 4; ++i) {  // Run1_Z10, Z5, Z3, Z2
+    const auto& preset = presets[i];
+    const auto ds = simnyx::generate_preset(preset);
+    const auto uniform = amr::compose_uniform(ds);
+    std::printf("\n--- %s (finest density %.0f%%, %zu^3 finest) ---\n",
+                preset.name.c_str(), 100.0 * preset.level_densities[0],
+                ds.finest_dims().nx);
+    bench::print_rd_table_header();
+    for (const double eb : bench::eb_ladder(1e7, 1e10, 4)) {
+      for (const auto method :
+           {core::Method::kTac, core::Method::kOneD, core::Method::kZMesh,
+            core::Method::kUpsample3D}) {
+        const auto p = bench::measure_method(ds, uniform, method, eb);
+        bench::print_rd_point(core::to_string(method), p);
+      }
+    }
+  }
+  return 0;
+}

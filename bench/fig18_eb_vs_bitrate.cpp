@@ -1,0 +1,70 @@
+/// \file fig18_eb_vs_bitrate.cpp
+/// \brief Reproduces Figure 18: bit-rate as a function of the absolute
+/// error bound for the fine and coarse levels of the Z2-like dataset.
+///
+/// Paper result: both curves fall steeply at small bounds and flatten as
+/// the bound grows — past a point, trading more error buys almost no
+/// bytes, which motivates balancing per-level bounds instead of scaling
+/// them uniformly.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/extraction.hpp"
+
+namespace {
+
+using namespace tac;
+
+/// Bit-rate of one level compressed alone with TAC's pipeline.
+double level_bit_rate(const amr::AmrDataset& single_level, double abs_eb) {
+  core::TacConfig cfg;
+  cfg.sz.mode = sz::ErrorBoundMode::kAbsolute;
+  cfg.sz.error_bound = abs_eb;
+  const auto compressed = core::tac_compress(single_level, cfg);
+  return analysis::bit_rate(single_level.total_valid(),
+                            compressed.bytes.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 18: bit-rate vs absolute error bound, fine & coarse levels "
+      "(Z2-like)\npaper: steep fall then flat; flattening means further "
+      "error buys no size");
+
+  simnyx::GeneratorConfig gc;
+  gc.finest_dims = {128, 128, 128};
+  gc.level_densities = {0.63, 0.37};
+  const auto ds = simnyx::generate_baryon_density(gc);
+
+  std::vector<amr::AmrLevel> fine_only, coarse_only;
+  fine_only.push_back(ds.level(0));
+  coarse_only.push_back(ds.level(1));
+  const amr::AmrDataset fine("fine", std::move(fine_only));
+  const amr::AmrDataset coarse("coarse", std::move(coarse_only));
+
+  std::printf("%12s %16s %16s\n", "abs_eb", "fine bitrate", "coarse bitrate");
+  std::vector<double> fine_rates, coarse_rates, ebs;
+  for (const double eb : bench::eb_ladder(1e7, 1e11, 7)) {
+    const double fr = level_bit_rate(fine, eb);
+    const double cr = level_bit_rate(coarse, eb);
+    std::printf("%12.3e %16.3f %16.3f\n", eb, fr, cr);
+    ebs.push_back(eb);
+    fine_rates.push_back(fr);
+    coarse_rates.push_back(cr);
+  }
+  // Flattening check: slope over the last decade much smaller than the
+  // slope over the first decade.
+  const auto slope = [](const std::vector<double>& r, std::size_t a,
+                        std::size_t b) { return r[a] - r[b]; };
+  const bool fine_flattens =
+      slope(fine_rates, 0, 1) > 2.0 * slope(fine_rates, fine_rates.size() - 2,
+                                            fine_rates.size() - 1);
+  std::printf("\nshape check: curves flatten at large bounds: %s\n",
+              fine_flattens ? "yes" : "NO");
+  (void)coarse_rates;
+  (void)ebs;
+  return 0;
+}

@@ -1,0 +1,102 @@
+/// \file micro_strategies.cpp
+/// \brief google-benchmark microbenchmarks of the pre-process strategies:
+/// extraction throughput vs occupancy density (the mechanism behind the
+/// Figure 13 crossover) and ghost-shell padding cost.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "amr/dataset.hpp"
+#include "core/block_grid.hpp"
+#include "core/extraction.hpp"
+#include "core/gsp.hpp"
+
+namespace {
+
+using namespace tac;
+
+Array3D<std::uint8_t> random_occupancy(Dims3 d, double density,
+                                       unsigned seed = 3) {
+  std::mt19937 rng(seed);
+  std::bernoulli_distribution occupied(density);
+  Array3D<std::uint8_t> occ(d);
+  for (std::size_t i = 0; i < occ.size(); ++i) occ[i] = occupied(rng) ? 1 : 0;
+  return occ;
+}
+
+void BM_OpstExtract(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  const auto occ = random_occupancy({24, 24, 24}, density);
+  for (auto _ : state) {
+    const auto subs = core::opst_extract(occ);
+    benchmark::DoNotOptimize(subs.data());
+  }
+  state.counters["density"] = density;
+}
+BENCHMARK(BM_OpstExtract)->Arg(10)->Arg(30)->Arg(50)->Arg(70)->Arg(90)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AkdExtract(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  const auto occ = random_occupancy({24, 24, 24}, density);
+  for (auto _ : state) {
+    const auto subs = core::akdtree_extract(occ);
+    benchmark::DoNotOptimize(subs.data());
+  }
+  state.counters["density"] = density;
+}
+BENCHMARK(BM_AkdExtract)->Arg(10)->Arg(30)->Arg(50)->Arg(70)->Arg(90)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NastExtract(benchmark::State& state) {
+  const auto occ = random_occupancy({24, 24, 24}, 0.5);
+  for (auto _ : state) {
+    const auto subs = core::nast_extract(occ);
+    benchmark::DoNotOptimize(subs.data());
+  }
+}
+BENCHMARK(BM_NastExtract)->Unit(benchmark::kMillisecond);
+
+void BM_GspPad(benchmark::State& state) {
+  amr::AmrLevel lv({96, 96, 96});
+  std::mt19937 rng(9);
+  std::bernoulli_distribution valid_block(0.8);
+  const core::BlockGrid grid(lv.dims(), 8);
+  const Dims3 bd = grid.block_dims();
+  for (std::size_t bz = 0; bz < bd.nz; ++bz)
+    for (std::size_t by = 0; by < bd.ny; ++by)
+      for (std::size_t bx = 0; bx < bd.nx; ++bx) {
+        if (!valid_block(rng)) continue;
+        const Box3 box = grid.block_box(bx, by, bz);
+        for (std::size_t z = box.z0; z < box.z1; ++z)
+          for (std::size_t y = box.y0; y < box.y1; ++y)
+            for (std::size_t x = box.x0; x < box.x1; ++x) {
+              lv.mask(x, y, z) = 1;
+              lv.data(x, y, z) = 1.0 + static_cast<double>(x + y + z);
+            }
+      }
+  const auto occ = core::block_occupancy(lv, grid);
+  for (auto _ : state) {
+    const auto padded = core::gsp_pad(lv, grid, occ);
+    benchmark::DoNotOptimize(padded.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lv.data.size() * 8));
+}
+BENCHMARK(BM_GspPad)->Unit(benchmark::kMillisecond);
+
+void BM_BlockOccupancy(benchmark::State& state) {
+  amr::AmrLevel lv({128, 128, 128});
+  for (std::size_t i = 0; i < lv.mask.size(); ++i) lv.mask[i] = i % 3 == 0;
+  const core::BlockGrid grid(lv.dims(), 8);
+  for (auto _ : state) {
+    const auto occ = core::block_occupancy(lv, grid);
+    benchmark::DoNotOptimize(occ.data());
+  }
+}
+BENCHMARK(BM_BlockOccupancy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+/// \file tab03_halo_finder.cpp
+/// \brief Reproduces Table 3: halo-finder quality of the 3D baseline,
+/// TAC with a uniform bound (1:1) and TAC with the adaptive bound (2:1
+/// fine:coarse) at (nearly) the same compression ratio.
+///
+/// Paper result (CR ~198.5): relative mass difference and cell-count
+/// difference of the biggest halo shrink monotonically from the 3D
+/// baseline to TAC(1:1) to TAC(2:1).
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/halo_finder.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace tac;
+
+struct Row {
+  const char* name;
+  double cr = 0;
+  analysis::HaloComparison cmp;
+};
+
+Row evaluate(const char* name, const amr::AmrDataset& ds,
+             const analysis::HaloCatalog& truth,
+             const std::vector<std::uint8_t>& bytes) {
+  const auto recon = core::decompress_any(bytes);
+  const auto uniform = amr::compose_uniform(recon);
+  const auto cat = analysis::find_halos(uniform);
+  Row r;
+  r.name = name;
+  r.cr = analysis::compression_ratio(ds.original_bytes(), bytes.size());
+  r.cmp = analysis::compare_largest_halo(truth, cat);
+  return r;
+}
+
+template <class CompressFn>
+std::vector<std::uint8_t> calibrate_to_cr(const amr::AmrDataset& ds,
+                                          double target_cr,
+                                          const CompressFn& compress_at) {
+  double lo = 1e-3, hi = 1e3;
+  std::vector<std::uint8_t> best;
+  for (int it = 0; it < 12; ++it) {
+    const double mid = std::sqrt(lo * hi);
+    auto bytes = compress_at(mid);
+    const double cr =
+        analysis::compression_ratio(ds.original_bytes(), bytes.size());
+    best = std::move(bytes);
+    if (std::fabs(cr - target_cr) / target_cr < 0.01) break;
+    if (cr > target_cr)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 3: halo finder at matched CR (Z2-like dataset)\n"
+      "paper: mass & cell diffs shrink from 3D -> TAC(1:1) -> TAC(2:1)");
+
+  simnyx::GeneratorConfig gc;
+  gc.finest_dims = {128, 128, 128};
+  gc.level_densities = {0.63, 0.37};
+  gc.region_size = 8;
+  const auto ds = simnyx::generate_baryon_density(gc);
+  const auto uniform_truth = amr::compose_uniform(ds);
+  const auto truth = analysis::find_halos(uniform_truth);
+  std::printf("halos in original data: %zu (biggest: %zu cells)\n",
+              truth.halos.size(),
+              truth.halos.empty() ? 0 : truth.halos.front().cells);
+
+  const double base_eb = 3e8;
+  core::TacConfig uni_cfg;
+  uni_cfg.sz.mode = sz::ErrorBoundMode::kAbsolute;
+  uni_cfg.sz.error_bound = base_eb;
+  const auto tac_uniform = core::tac_compress(ds, uni_cfg);
+  const double target_cr = analysis::compression_ratio(
+      ds.original_bytes(), tac_uniform.bytes.size());
+
+  const auto base3d = calibrate_to_cr(ds, target_cr, [&](double mult) {
+    const sz::SzConfig c{.mode = sz::ErrorBoundMode::kAbsolute,
+                         .error_bound = base_eb * mult};
+    return core::upsample3d_compress(ds, c).bytes;
+  });
+  // Centered 2:1 ladder: fine = sqrt(2)*e, coarse = e/sqrt(2).
+  const auto tac_adaptive = calibrate_to_cr(ds, target_cr, [&](double mult) {
+    core::TacConfig c;
+    c.level_error_bounds = core::ratio_error_bounds(
+        std::sqrt(2.0) * base_eb * mult, 2.0, ds.num_levels());
+    return core::tac_compress(ds, c).bytes;
+  });
+
+  const Row rows[] = {
+      evaluate("3D baseline", ds, truth, base3d),
+      evaluate("TAC (1:1)", ds, truth, tac_uniform.bytes),
+      evaluate("TAC (2:1)", ds, truth, tac_adaptive),
+  };
+
+  std::printf("\n%-12s %8s %16s %16s %8s\n", "method", "CR",
+              "rel mass diff", "cell num diff", "halos");
+  for (const Row& r : rows)
+    std::printf("%-12s %8.1f %16.2e %16.1f %8zu\n", r.name, r.cr,
+                r.cmp.rel_mass_diff, r.cmp.cell_count_diff,
+                r.cmp.halos_other);
+  std::printf("\nshape check: TAC(2:1) mass diff <= 3D baseline mass diff: "
+              "%s\n",
+              rows[2].cmp.rel_mass_diff <= rows[0].cmp.rel_mass_diff
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

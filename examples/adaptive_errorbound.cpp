@@ -1,0 +1,60 @@
+/// \file adaptive_errorbound.cpp
+/// \brief Tuning per-level error bounds (paper §4.5).
+///
+/// Level-wise compression lets TAC spend its error budget unevenly: the
+/// paper derives fine:coarse ratios of 3:1 for power-spectrum quality and
+/// 2:1 for halo-finder quality. This example sweeps the ratio on a
+/// Z2-like dataset at a fixed fine-level bound and shows how bit-rate
+/// splits across levels and what the post-analysis error does.
+///
+///   ./adaptive_errorbound
+
+#include <cstdio>
+
+#include "amr/uniform.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/power_spectrum.hpp"
+#include "core/adaptive.hpp"
+#include "simnyx/generator.hpp"
+
+int main() {
+  using namespace tac;
+
+  simnyx::GeneratorConfig gen;
+  gen.finest_dims = {64, 64, 64};
+  gen.level_densities = {0.63, 0.37};
+  gen.region_size = 8;
+  const auto ds = simnyx::generate_baryon_density(gen);
+  const auto uniform_truth = amr::compose_uniform(ds);
+  const auto ps_truth = analysis::power_spectrum(uniform_truth);
+
+  const double fine_eb = 1e8;
+  std::printf("fine-level abs error bound fixed at %.1e; sweeping the "
+              "fine:coarse ratio\n\n", fine_eb);
+  std::printf("%-8s %12s %12s %10s %8s %22s\n", "ratio", "fine bytes",
+              "coarse bytes", "bitrate", "CR", "max P(k) err k<10 (%)");
+
+  for (const double ratio : {1.0, 2.0, 3.0, 4.0, 8.0}) {
+    core::TacConfig cfg;
+    cfg.level_error_bounds =
+        core::ratio_error_bounds(fine_eb, ratio, ds.num_levels());
+    const auto compressed = core::tac_compress(ds, cfg);
+    const auto recon = core::decompress_any(compressed.bytes);
+    const auto ps =
+        analysis::power_spectrum(amr::compose_uniform(recon));
+    std::printf("%-8.0f %12zu %12zu %10.3f %8.1f %22.4f\n", ratio,
+                compressed.report.levels[0].compressed_bytes,
+                compressed.report.levels[1].compressed_bytes,
+                analysis::bit_rate(ds.total_valid(),
+                                   compressed.bytes.size()),
+                analysis::compression_ratio(ds.original_bytes(),
+                                            compressed.bytes.size()),
+                100.0 * analysis::max_relative_error(ps_truth, ps, 10.0));
+  }
+
+  std::printf("\nreading the table: larger ratios shrink the coarse-level "
+              "bound, buying post-analysis quality with coarse-level bits; "
+              "the paper settles on 3:1 (power spectrum) and 2:1 (halo "
+              "finder) after the same rate-distortion balancing.\n");
+  return 0;
+}

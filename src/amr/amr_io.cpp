@@ -1,0 +1,108 @@
+#include "amr/amr_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+#include "lossless/codec.hpp"
+
+namespace tac::amr {
+namespace {
+constexpr std::uint32_t kMagic = 0x524D4154;  // "TAMR"
+constexpr std::uint8_t kVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> pack_mask(std::span<const std::uint8_t> mask) {
+  std::vector<std::uint8_t> out((mask.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < mask.size(); ++i)
+    if (mask[i]) out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  return out;
+}
+
+std::vector<std::uint8_t> unpack_mask(std::span<const std::uint8_t> packed,
+                                      std::size_t count) {
+  if (packed.size() < (count + 7) / 8)
+    throw std::runtime_error("unpack_mask: truncated mask");
+  std::vector<std::uint8_t> out(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = (packed[i / 8] >> (i % 8)) & 1u;
+  return out;
+}
+
+std::vector<std::uint8_t> dataset_to_bytes(const AmrDataset& ds) {
+  ByteWriter w;
+  w.put<std::uint32_t>(kMagic);
+  w.put<std::uint8_t>(kVersion);
+  w.put_string(ds.field_name());
+  w.put_varint(static_cast<std::uint64_t>(ds.refinement_ratio()));
+  w.put_varint(ds.num_levels());
+  for (std::size_t l = 0; l < ds.num_levels(); ++l) {
+    const AmrLevel& lv = ds.level(l);
+    w.put_varint(lv.dims().nx);
+    w.put_varint(lv.dims().ny);
+    w.put_varint(lv.dims().nz);
+    const auto packed = pack_mask(lv.mask.span());
+    w.put_blob(lossless::compress(packed));
+    const auto values = lv.gather_valid();
+    std::span<const std::uint8_t> value_bytes{
+        reinterpret_cast<const std::uint8_t*>(values.data()),
+        values.size() * sizeof(double)};
+    w.put_blob(value_bytes);
+  }
+  return w.take();
+}
+
+AmrDataset dataset_from_bytes(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.get<std::uint32_t>() != kMagic)
+    throw std::runtime_error("amr_io: bad magic");
+  if (r.get<std::uint8_t>() != kVersion)
+    throw std::runtime_error("amr_io: unsupported version");
+  const std::string name = r.get_string();
+  const int ratio = static_cast<int>(r.get_varint());
+  const std::size_t nlevels = static_cast<std::size_t>(r.get_varint());
+  std::vector<AmrLevel> levels;
+  levels.reserve(nlevels);
+  for (std::size_t l = 0; l < nlevels; ++l) {
+    Dims3 d;
+    d.nx = static_cast<std::size_t>(r.get_varint());
+    d.ny = static_cast<std::size_t>(r.get_varint());
+    d.nz = static_cast<std::size_t>(r.get_varint());
+    AmrLevel lv(d);
+    const auto packed = lossless::decompress(r.get_blob());
+    const auto mask = unpack_mask(packed, d.volume());
+    std::copy(mask.begin(), mask.end(), lv.mask.data());
+    const auto value_bytes = r.get_blob();
+    if (value_bytes.size() % sizeof(double) != 0)
+      throw std::runtime_error("amr_io: bad value payload");
+    std::vector<double> values(value_bytes.size() / sizeof(double));
+    std::memcpy(values.data(), value_bytes.data(), value_bytes.size());
+    lv.scatter_valid(values);
+    levels.push_back(std::move(lv));
+  }
+  return AmrDataset(name, std::move(levels), ratio);
+}
+
+void save_dataset(const std::string& path, const AmrDataset& ds) {
+  const auto bytes = dataset_to_bytes(ds);
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_dataset: cannot open " + path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw std::runtime_error("save_dataset: write failed " + path);
+}
+
+AmrDataset load_dataset(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw std::runtime_error("load_dataset: cannot open " + path);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  f.read(reinterpret_cast<char*>(bytes.data()),
+         static_cast<std::streamsize>(size));
+  if (!f) throw std::runtime_error("load_dataset: read failed " + path);
+  return dataset_from_bytes(bytes);
+}
+
+}  // namespace tac::amr

@@ -1,0 +1,35 @@
+#ifndef TAC_AMR_AMR_IO_HPP
+#define TAC_AMR_AMR_IO_HPP
+
+/// \file amr_io.hpp
+/// \brief Binary snapshot serialization for AMR datasets.
+///
+/// The structure (masks) is stored losslessly — as AMR snapshot formats do
+/// — with bit-packing plus the generic lossless codec; values are stored as
+/// raw doubles over valid cells only.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "amr/dataset.hpp"
+
+namespace tac::amr {
+
+[[nodiscard]] std::vector<std::uint8_t> dataset_to_bytes(const AmrDataset& ds);
+[[nodiscard]] AmrDataset dataset_from_bytes(
+    std::span<const std::uint8_t> bytes);
+
+void save_dataset(const std::string& path, const AmrDataset& ds);
+[[nodiscard]] AmrDataset load_dataset(const std::string& path);
+
+/// Bit-packs a 0/1 mask; helper shared with the compression container.
+[[nodiscard]] std::vector<std::uint8_t> pack_mask(
+    std::span<const std::uint8_t> mask);
+[[nodiscard]] std::vector<std::uint8_t> unpack_mask(
+    std::span<const std::uint8_t> packed, std::size_t count);
+
+}  // namespace tac::amr
+
+#endif  // TAC_AMR_AMR_IO_HPP

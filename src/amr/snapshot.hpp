@@ -1,0 +1,50 @@
+#ifndef TAC_AMR_SNAPSHOT_HPP
+#define TAC_AMR_SNAPSHOT_HPP
+
+/// \file snapshot.hpp
+/// \brief Multi-field timestep snapshots.
+///
+/// AMR codes dump every field of a timestep together (Nyx: six fields on
+/// one grid hierarchy). A Snapshot bundles the per-field datasets, and the
+/// compressed form stores the shared refinement structure once plus one
+/// method-tagged payload per field.
+
+#include <string>
+#include <vector>
+
+#include "amr/dataset.hpp"
+#include "sz/config.hpp"
+
+namespace tac::amr {
+
+struct Snapshot {
+  std::vector<AmrDataset> fields;
+
+  /// Empty string if all fields share identical level structure (masks
+  /// and extents); otherwise a description of the first mismatch.
+  [[nodiscard]] std::string validate_shared_structure() const;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> snapshot_to_bytes(const Snapshot& s);
+[[nodiscard]] Snapshot snapshot_from_bytes(
+    std::span<const std::uint8_t> bytes);
+
+void save_snapshot(const std::string& path, const Snapshot& s);
+[[nodiscard]] Snapshot load_snapshot(const std::string& path);
+
+}  // namespace tac::amr
+
+namespace tac::core {
+struct TacConfig;  // forward; defined in core/tac.hpp
+
+/// Compresses every field of a snapshot with the adaptively selected
+/// method (TAC or 3D baseline, §4.4) under one configuration. The
+/// container is self-describing; decompress with `decompress_snapshot`.
+[[nodiscard]] std::vector<std::uint8_t> compress_snapshot(
+    const amr::Snapshot& s, const TacConfig& cfg);
+
+[[nodiscard]] amr::Snapshot decompress_snapshot(
+    std::span<const std::uint8_t> bytes);
+}  // namespace tac::core
+
+#endif  // TAC_AMR_SNAPSHOT_HPP

@@ -1,0 +1,105 @@
+#include "analysis/halo_finder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tac::analysis {
+
+HaloCatalog find_halos(const Array3D<double>& density,
+                       const HaloFinderConfig& cfg) {
+  const Dims3 d = density.dims();
+  if (d.volume() == 0) throw std::invalid_argument("find_halos: empty grid");
+
+  double mean = 0;
+  for (std::size_t i = 0; i < density.size(); ++i) mean += density[i];
+  mean /= static_cast<double>(density.size());
+
+  HaloCatalog cat;
+  cat.mean = mean;
+  cat.threshold = cfg.threshold_factor * mean;
+
+  // Flood fill of candidate cells (value > threshold), 6-connectivity.
+  Array3D<std::uint8_t> visited(d, 0);
+  std::vector<std::size_t> stack;
+  const auto wrap = [](std::ptrdiff_t v, std::size_t n) {
+    if (v < 0) return n - 1;
+    if (static_cast<std::size_t>(v) >= n) return std::size_t{0};
+    return static_cast<std::size_t>(v);
+  };
+
+  for (std::size_t start = 0; start < density.size(); ++start) {
+    if (visited[start] || density[start] <= cat.threshold) continue;
+    Halo halo;
+    double peak = -1;
+    stack.clear();
+    stack.push_back(start);
+    visited[start] = 1;
+    while (!stack.empty()) {
+      const std::size_t i = stack.back();
+      stack.pop_back();
+      ++halo.cells;
+      halo.mass += density[i];
+      const std::size_t x = i % d.nx;
+      const std::size_t y = (i / d.nx) % d.ny;
+      const std::size_t z = i / (d.nx * d.ny);
+      if (density[i] > peak) {
+        peak = density[i];
+        halo.x = x;
+        halo.y = y;
+        halo.z = z;
+      }
+      const std::ptrdiff_t nb[6][3] = {{-1, 0, 0}, {1, 0, 0},  {0, -1, 0},
+                                       {0, 1, 0},  {0, 0, -1}, {0, 0, 1}};
+      for (const auto& o : nb) {
+        const std::ptrdiff_t xx = static_cast<std::ptrdiff_t>(x) + o[0];
+        const std::ptrdiff_t yy = static_cast<std::ptrdiff_t>(y) + o[1];
+        const std::ptrdiff_t zz = static_cast<std::ptrdiff_t>(z) + o[2];
+        std::size_t nx2, ny2, nz2;
+        if (cfg.periodic) {
+          nx2 = wrap(xx, d.nx);
+          ny2 = wrap(yy, d.ny);
+          nz2 = wrap(zz, d.nz);
+        } else {
+          if (xx < 0 || yy < 0 || zz < 0 ||
+              static_cast<std::size_t>(xx) >= d.nx ||
+              static_cast<std::size_t>(yy) >= d.ny ||
+              static_cast<std::size_t>(zz) >= d.nz)
+            continue;
+          nx2 = static_cast<std::size_t>(xx);
+          ny2 = static_cast<std::size_t>(yy);
+          nz2 = static_cast<std::size_t>(zz);
+        }
+        const std::size_t j = d.index(nx2, ny2, nz2);
+        if (!visited[j] && density[j] > cat.threshold) {
+          visited[j] = 1;
+          stack.push_back(j);
+        }
+      }
+    }
+    if (halo.cells >= cfg.min_cells) cat.halos.push_back(halo);
+  }
+
+  std::sort(cat.halos.begin(), cat.halos.end(),
+            [](const Halo& a, const Halo& b) { return a.mass > b.mass; });
+  return cat;
+}
+
+HaloComparison compare_largest_halo(const HaloCatalog& truth,
+                                    const HaloCatalog& other) {
+  HaloComparison c;
+  c.halos_truth = truth.halos.size();
+  c.halos_other = other.halos.size();
+  if (truth.halos.empty() || other.halos.empty()) {
+    c.rel_mass_diff = truth.halos.empty() == other.halos.empty() ? 0.0 : 1.0;
+    return c;
+  }
+  const Halo& t = truth.halos.front();
+  const Halo& o = other.halos.front();
+  c.rel_mass_diff = t.mass != 0 ? std::fabs(o.mass - t.mass) / t.mass : 0.0;
+  c.cell_count_diff = std::fabs(static_cast<double>(o.cells) -
+                                static_cast<double>(t.cells));
+  return c;
+}
+
+}  // namespace tac::analysis

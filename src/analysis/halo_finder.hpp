@@ -1,0 +1,55 @@
+#ifndef TAC_ANALYSIS_HALO_FINDER_HPP
+#define TAC_ANALYSIS_HALO_FINDER_HPP
+
+/// \file halo_finder.hpp
+/// \brief Cell-based halo finder (paper §4.2, metric 6).
+///
+/// Implements the two criteria the paper describes: (1) a cell is a halo
+/// candidate when its value exceeds `threshold_factor` times the dataset
+/// mean (81.66 by default, after Davis et al.), and (2) candidates form a
+/// halo when a 6-connected component reaches `min_cells`. Output per halo:
+/// position (densest cell), cell count, and mass (sum of cell values).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/array3d.hpp"
+
+namespace tac::analysis {
+
+struct Halo {
+  std::size_t cells = 0;
+  double mass = 0;
+  std::size_t x = 0, y = 0, z = 0;  ///< densest cell of the halo
+};
+
+struct HaloCatalog {
+  std::vector<Halo> halos;  ///< sorted by mass, descending
+  double threshold = 0;     ///< absolute candidate threshold used
+  double mean = 0;          ///< dataset mean the threshold derives from
+};
+
+struct HaloFinderConfig {
+  double threshold_factor = 81.66;
+  std::size_t min_cells = 8;
+  bool periodic = true;  ///< cosmology boxes are periodic
+};
+
+[[nodiscard]] HaloCatalog find_halos(const Array3D<double>& density,
+                                     const HaloFinderConfig& cfg = {});
+
+/// Table-3 statistics: differences of the biggest halo between original
+/// and decompressed data.
+struct HaloComparison {
+  double rel_mass_diff = 0;   ///< |m' - m| / m of the biggest halo
+  double cell_count_diff = 0; ///< |cells' - cells|
+  std::size_t halos_truth = 0;
+  std::size_t halos_other = 0;
+};
+
+[[nodiscard]] HaloComparison compare_largest_halo(const HaloCatalog& truth,
+                                                  const HaloCatalog& other);
+
+}  // namespace tac::analysis
+
+#endif  // TAC_ANALYSIS_HALO_FINDER_HPP

@@ -1,0 +1,84 @@
+#include "analysis/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tac::analysis {
+namespace {
+
+struct Accumulator {
+  double sum_sq = 0;
+  double max_abs = 0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  std::size_t n = 0;
+
+  void add(double orig, double recon) {
+    const double e = orig - recon;
+    sum_sq += e * e;
+    max_abs = std::max(max_abs, std::fabs(e));
+    lo = std::min(lo, orig);
+    hi = std::max(hi, orig);
+    ++n;
+  }
+
+  [[nodiscard]] DistortionStats finish() const {
+    DistortionStats s;
+    s.count = n;
+    if (n == 0) return s;
+    s.mse = sum_sq / static_cast<double>(n);
+    s.max_abs_error = max_abs;
+    s.value_range = hi - lo;
+    if (s.mse == 0) {
+      s.psnr = std::numeric_limits<double>::infinity();
+    } else {
+      s.psnr = 20.0 * std::log10(s.value_range) - 10.0 * std::log10(s.mse);
+    }
+    return s;
+  }
+};
+
+}  // namespace
+
+DistortionStats distortion(std::span<const double> original,
+                           std::span<const double> decompressed) {
+  if (original.size() != decompressed.size())
+    throw std::invalid_argument("distortion: size mismatch");
+  Accumulator acc;
+  for (std::size_t i = 0; i < original.size(); ++i)
+    acc.add(original[i], decompressed[i]);
+  return acc.finish();
+}
+
+DistortionStats distortion_amr(const amr::AmrDataset& original,
+                               const amr::AmrDataset& recon) {
+  if (original.num_levels() != recon.num_levels())
+    throw std::invalid_argument("distortion_amr: level count mismatch");
+  Accumulator acc;
+  for (std::size_t l = 0; l < original.num_levels(); ++l) {
+    const auto& ol = original.level(l);
+    const auto& rl = recon.level(l);
+    if (!(ol.dims() == rl.dims()))
+      throw std::invalid_argument("distortion_amr: level extent mismatch");
+    for (std::size_t i = 0; i < ol.data.size(); ++i)
+      if (ol.mask[i]) acc.add(ol.data[i], rl.data[i]);
+  }
+  return acc.finish();
+}
+
+double compression_ratio(std::size_t original_bytes,
+                         std::size_t compressed_bytes) {
+  return compressed_bytes == 0 ? 0.0
+                               : static_cast<double>(original_bytes) /
+                                     static_cast<double>(compressed_bytes);
+}
+
+double bit_rate(std::size_t value_count, std::size_t compressed_bytes) {
+  return value_count == 0 ? 0.0
+                          : 8.0 * static_cast<double>(compressed_bytes) /
+                                static_cast<double>(value_count);
+}
+
+}  // namespace tac::analysis

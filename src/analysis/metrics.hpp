@@ -1,0 +1,42 @@
+#ifndef TAC_ANALYSIS_METRICS_HPP
+#define TAC_ANALYSIS_METRICS_HPP
+
+/// \file metrics.hpp
+/// \brief Generic compression quality metrics (paper §4.2, metrics 1–4).
+
+#include <cstddef>
+#include <span>
+
+#include "amr/dataset.hpp"
+
+namespace tac::analysis {
+
+struct DistortionStats {
+  double mse = 0;
+  double psnr = 0;  ///< dB; +inf for identical data
+  double max_abs_error = 0;
+  double value_range = 0;
+  std::size_t count = 0;
+};
+
+/// PSNR per the paper: 20*log10(range) - 10*log10(MSE), with the range
+/// taken from the original data.
+[[nodiscard]] DistortionStats distortion(std::span<const double> original,
+                                         std::span<const double> decompressed);
+
+/// Distortion over the valid cells of every level of an AMR dataset —
+/// the level-wise view of reconstruction quality.
+[[nodiscard]] DistortionStats distortion_amr(const amr::AmrDataset& original,
+                                             const amr::AmrDataset& recon);
+
+/// original_bytes / compressed_bytes.
+[[nodiscard]] double compression_ratio(std::size_t original_bytes,
+                                       std::size_t compressed_bytes);
+
+/// Amortized bits per value; CR * bit_rate == bits per uncompressed value.
+[[nodiscard]] double bit_rate(std::size_t value_count,
+                              std::size_t compressed_bytes);
+
+}  // namespace tac::analysis
+
+#endif  // TAC_ANALYSIS_METRICS_HPP

@@ -1,0 +1,74 @@
+#include "analysis/power_spectrum.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fft/fft.hpp"
+
+namespace tac::analysis {
+
+PowerSpectrum power_spectrum(const Array3D<double>& density) {
+  const Dims3 d = density.dims();
+  double mean = 0;
+  for (std::size_t i = 0; i < density.size(); ++i) mean += density[i];
+  mean /= static_cast<double>(density.size());
+  if (mean == 0) throw std::invalid_argument("power_spectrum: zero mean");
+
+  Array3D<fft::Complex> delta(d);
+  for (std::size_t i = 0; i < density.size(); ++i)
+    delta[i] = fft::Complex(density[i] / mean - 1.0, 0.0);
+  fft::fft_3d(delta, /*inverse=*/false);
+
+  const auto half_k = [](std::size_t i, std::size_t n) {
+    const auto k = static_cast<double>(i);
+    return i <= n / 2 ? k : k - static_cast<double>(n);
+  };
+
+  const std::size_t nbins = d.nx / 2;  // up to the Nyquist shell
+  std::vector<double> sum(nbins, 0.0);
+  std::vector<std::size_t> count(nbins, 0);
+  const double norm = 1.0 / static_cast<double>(d.volume());
+  for (std::size_t z = 0; z < d.nz; ++z)
+    for (std::size_t y = 0; y < d.ny; ++y)
+      for (std::size_t x = 0; x < d.nx; ++x) {
+        const double kx = half_k(x, d.nx);
+        const double ky = half_k(y, d.ny);
+        const double kz = half_k(z, d.nz);
+        const double kmag = std::sqrt(kx * kx + ky * ky + kz * kz);
+        const auto bin = static_cast<std::size_t>(std::lround(kmag));
+        if (bin == 0 || bin >= nbins) continue;
+        const double p = std::norm(delta(x, y, z) * norm);
+        sum[bin] += p;
+        ++count[bin];
+      }
+
+  PowerSpectrum ps;
+  for (std::size_t b = 1; b < nbins; ++b) {
+    if (count[b] == 0) continue;
+    ps.k.push_back(static_cast<double>(b));
+    ps.pk.push_back(sum[b] / static_cast<double>(count[b]));
+  }
+  return ps;
+}
+
+std::vector<double> relative_error(const PowerSpectrum& truth,
+                                   const PowerSpectrum& other) {
+  if (truth.k.size() != other.k.size())
+    throw std::invalid_argument("power spectrum: bin count mismatch");
+  std::vector<double> err(truth.k.size(), 0.0);
+  for (std::size_t i = 0; i < err.size(); ++i)
+    if (truth.pk[i] != 0)
+      err[i] = std::fabs(other.pk[i] - truth.pk[i]) / truth.pk[i];
+  return err;
+}
+
+double max_relative_error(const PowerSpectrum& truth,
+                          const PowerSpectrum& other, double k_limit) {
+  const auto err = relative_error(truth, other);
+  double mx = 0;
+  for (std::size_t i = 0; i < err.size(); ++i)
+    if (truth.k[i] < k_limit) mx = std::max(mx, err[i]);
+  return mx;
+}
+
+}  // namespace tac::analysis

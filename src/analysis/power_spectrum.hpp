@@ -1,0 +1,38 @@
+#ifndef TAC_ANALYSIS_POWER_SPECTRUM_HPP
+#define TAC_ANALYSIS_POWER_SPECTRUM_HPP
+
+/// \file power_spectrum.hpp
+/// \brief Matter power spectrum P(k) (paper §4.2, metric 5).
+///
+/// Stands in for the Gimlet analysis tool: P(k) is the shell-binned squared
+/// magnitude of the Fourier transform of the density contrast
+/// δ = ρ/ρ̄ − 1. The paper accepts compressed data when the relative P(k)
+/// error stays below 1% for all k < 10.
+
+#include <vector>
+
+#include "common/array3d.hpp"
+
+namespace tac::analysis {
+
+struct PowerSpectrum {
+  std::vector<double> k;   ///< bin centers (integer wavenumber shells)
+  std::vector<double> pk;  ///< mean |δ̂(k)|² per shell
+};
+
+/// Computes P(k) of a density field on a power-of-two grid.
+[[nodiscard]] PowerSpectrum power_spectrum(const Array3D<double>& density);
+
+/// Per-bin relative error |P'(k) − P(k)| / P(k); bins with P(k) == 0 give 0.
+[[nodiscard]] std::vector<double> relative_error(const PowerSpectrum& truth,
+                                                 const PowerSpectrum& other);
+
+/// Maximum relative error over bins with k < k_limit (the paper's
+/// acceptance criterion with k_limit = 10, 1% threshold).
+[[nodiscard]] double max_relative_error(const PowerSpectrum& truth,
+                                        const PowerSpectrum& other,
+                                        double k_limit);
+
+}  // namespace tac::analysis
+
+#endif  // TAC_ANALYSIS_POWER_SPECTRUM_HPP

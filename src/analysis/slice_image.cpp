@@ -1,0 +1,78 @@
+#include "analysis/slice_image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tac::analysis {
+namespace {
+
+void write_pgm(const std::string& path, std::size_t w, std::size_t h,
+               const std::vector<double>& values, double gamma) {
+  double lo = values.empty() ? 0.0 : values[0];
+  double hi = lo;
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("write_pgm: cannot open " + path);
+  f << "P5\n" << w << " " << h << "\n255\n";
+  std::vector<unsigned char> row(w);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      double t = (values[y * w + x] - lo) / span;
+      if (gamma != 1.0) t = std::pow(t, gamma);
+      row[x] = static_cast<unsigned char>(
+          std::clamp(t * 255.0, 0.0, 255.0));
+    }
+    f.write(reinterpret_cast<const char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+  }
+  if (!f) throw std::runtime_error("write_pgm: write failed " + path);
+}
+
+std::vector<double> slice_of(const Array3D<double>& field, std::size_t z,
+                             bool log_scale) {
+  const Dims3 d = field.dims();
+  if (z >= d.nz) throw std::invalid_argument("slice index out of range");
+  std::vector<double> out(d.nx * d.ny);
+  for (std::size_t y = 0; y < d.ny; ++y)
+    for (std::size_t x = 0; x < d.nx; ++x) {
+      const double v = field(x, y, z);
+      out[y * d.nx + x] = log_scale ? std::log10(1.0 + std::fabs(v)) : v;
+    }
+  return out;
+}
+
+}  // namespace
+
+void write_slice_pgm(const std::string& path, const Array3D<double>& field,
+                     const SliceImageOptions& opts) {
+  const Dims3 d = field.dims();
+  write_pgm(path, d.nx, d.ny, slice_of(field, opts.z, opts.log_scale),
+            opts.gamma);
+}
+
+void write_error_slice_pgm(const std::string& path, const Array3D<double>& a,
+                           const Array3D<double>& b,
+                           const SliceImageOptions& opts) {
+  if (!(a.dims() == b.dims()))
+    throw std::invalid_argument("write_error_slice_pgm: extent mismatch");
+  const Dims3 d = a.dims();
+  if (opts.z >= d.nz)
+    throw std::invalid_argument("slice index out of range");
+  std::vector<double> err(d.nx * d.ny);
+  for (std::size_t y = 0; y < d.ny; ++y)
+    for (std::size_t x = 0; x < d.nx; ++x) {
+      const double e = std::fabs(a(x, y, opts.z) - b(x, y, opts.z));
+      err[y * d.nx + x] = opts.log_scale ? std::log10(1.0 + e) : e;
+    }
+  write_pgm(path, d.nx, d.ny, err, opts.gamma);
+}
+
+}  // namespace tac::analysis

@@ -1,0 +1,38 @@
+#ifndef TAC_ANALYSIS_SLICE_IMAGE_HPP
+#define TAC_ANALYSIS_SLICE_IMAGE_HPP
+
+/// \file slice_image.hpp
+/// \brief PGM slice renderings of fields and compression-error maps.
+///
+/// The paper's Figures 7 and 12 are visual comparisons — brightness maps
+/// of per-cell compression error on one z-slice. These helpers regenerate
+/// that artifact: grayscale PGM (portable, viewer-free) of either a field
+/// slice (log scaling suits the lognormal densities) or the |orig-recon|
+/// error on a slice.
+
+#include <string>
+
+#include "common/array3d.hpp"
+
+namespace tac::analysis {
+
+struct SliceImageOptions {
+  std::size_t z = 0;          ///< slice index
+  bool log_scale = false;     ///< map log10(1+|v|) instead of v
+  double gamma = 1.0;         ///< display gamma on the normalized value
+};
+
+/// Renders one z-slice of `field` to an 8-bit PGM at `path`.
+void write_slice_pgm(const std::string& path, const Array3D<double>& field,
+                     const SliceImageOptions& opts = {});
+
+/// Renders |a - b| on one z-slice (brighter = larger error), normalized to
+/// the slice's maximum error — the paper's Figure 7/12 presentation.
+void write_error_slice_pgm(const std::string& path,
+                           const Array3D<double>& a,
+                           const Array3D<double>& b,
+                           const SliceImageOptions& opts = {});
+
+}  // namespace tac::analysis
+
+#endif  // TAC_ANALYSIS_SLICE_IMAGE_HPP

@@ -1,0 +1,90 @@
+#ifndef TAC_COMMON_ARRAY3D_HPP
+#define TAC_COMMON_ARRAY3D_HPP
+
+/// \file array3d.hpp
+/// \brief Owning row-major 3D array with x as the fastest axis.
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/dims.hpp"
+
+namespace tac {
+
+/// Dense 3D array stored contiguously; index (x, y, z) maps to
+/// x + nx * (y + ny * z). Degenerates naturally to 2D/1D when trailing
+/// extents are 1.
+template <class T>
+class Array3D {
+ public:
+  Array3D() = default;
+  explicit Array3D(Dims3 dims, T fill = T{})
+      : dims_(dims), data_(dims.volume(), fill) {}
+  Array3D(Dims3 dims, std::vector<T> data)
+      : dims_(dims), data_(std::move(data)) {
+    assert(data_.size() == dims_.volume());
+  }
+
+  [[nodiscard]] const Dims3& dims() const { return dims_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] T& operator()(std::size_t x, std::size_t y, std::size_t z) {
+    assert(x < dims_.nx && y < dims_.ny && z < dims_.nz);
+    return data_[dims_.index(x, y, z)];
+  }
+  [[nodiscard]] const T& operator()(std::size_t x, std::size_t y,
+                                    std::size_t z) const {
+    assert(x < dims_.nx && y < dims_.ny && z < dims_.nz);
+    return data_[dims_.index(x, y, z)];
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] std::span<T> span() { return data_; }
+  [[nodiscard]] std::span<const T> span() const { return data_; }
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] std::vector<T>& storage() { return data_; }
+  [[nodiscard]] const std::vector<T>& storage() const { return data_; }
+
+  void fill(const T& v) { data_.assign(data_.size(), v); }
+
+  /// Copies the half-open box `src_box` of this array into a new array of
+  /// matching extents.
+  [[nodiscard]] Array3D<T> extract(const Box3& src_box) const {
+    Array3D<T> out(src_box.extents());
+    for (std::size_t z = src_box.z0; z < src_box.z1; ++z)
+      for (std::size_t y = src_box.y0; y < src_box.y1; ++y)
+        for (std::size_t x = src_box.x0; x < src_box.x1; ++x)
+          out(x - src_box.x0, y - src_box.y0, z - src_box.z0) =
+              (*this)(x, y, z);
+    return out;
+  }
+
+  /// Writes `block` into this array with its origin at (x0, y0, z0).
+  void insert(const Array3D<T>& block, std::size_t x0, std::size_t y0,
+              std::size_t z0) {
+    const Dims3& b = block.dims();
+    assert(x0 + b.nx <= dims_.nx && y0 + b.ny <= dims_.ny &&
+           z0 + b.nz <= dims_.nz);
+    for (std::size_t z = 0; z < b.nz; ++z)
+      for (std::size_t y = 0; y < b.ny; ++y)
+        for (std::size_t x = 0; x < b.nx; ++x)
+          (*this)(x0 + x, y0 + y, z0 + z) = block(x, y, z);
+  }
+
+  friend bool operator==(const Array3D&, const Array3D&) = default;
+
+ private:
+  Dims3 dims_;
+  std::vector<T> data_;
+};
+
+}  // namespace tac
+
+#endif  // TAC_COMMON_ARRAY3D_HPP

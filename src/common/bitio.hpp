@@ -1,0 +1,98 @@
+#ifndef TAC_COMMON_BITIO_HPP
+#define TAC_COMMON_BITIO_HPP
+
+/// \file bitio.hpp
+/// \brief MSB-first bit-level writer/reader over byte buffers.
+///
+/// Used by the Huffman coder (variable-length codes up to 64 bits) and the
+/// LZSS token stream. Codes are written most-significant-bit first so that
+/// canonical Huffman decoding can peek a fixed-width window.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace tac {
+
+/// Accumulates bits MSB-first into a byte vector.
+class BitWriter {
+ public:
+  /// Appends the low `nbits` bits of `bits` (MSB of that field first).
+  void write(std::uint64_t bits, unsigned nbits) {
+    while (nbits > 0) {
+      unsigned take = 8 - fill_;
+      if (take > nbits) take = nbits;
+      const unsigned shift = nbits - take;
+      cur_ = static_cast<std::uint8_t>(
+          cur_ << take | ((bits >> shift) & ((1u << take) - 1u)));
+      fill_ += take;
+      nbits -= take;
+      if (fill_ == 8) {
+        out_.push_back(cur_);
+        cur_ = 0;
+        fill_ = 0;
+      }
+    }
+  }
+
+  void write_bit(bool b) { write(b ? 1u : 0u, 1); }
+
+  /// Flushes any partial byte (zero-padded) and returns the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish() {
+    if (fill_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(cur_ << (8 - fill_)));
+      cur_ = 0;
+      fill_ = 0;
+    }
+    return std::move(out_);
+  }
+
+  [[nodiscard]] std::size_t bit_count() const {
+    return out_.size() * 8 + fill_;
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::uint8_t cur_ = 0;
+  unsigned fill_ = 0;  // bits currently held in cur_
+};
+
+/// Reads bits MSB-first from a byte span. Reading past the end throws.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint64_t read(unsigned nbits) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < nbits; ++i)
+      v = v << 1 | (read_bit() ? 1u : 0u);
+    return v;
+  }
+
+  [[nodiscard]] bool read_bit() {
+    if (pos_ >= data_.size())
+      throw std::out_of_range("BitReader: read past end of stream");
+    const bool b = (data_[pos_] >> (7 - fill_)) & 1u;
+    if (++fill_ == 8) {
+      fill_ = 0;
+      ++pos_;
+    }
+    return b;
+  }
+
+  [[nodiscard]] std::size_t bits_consumed() const {
+    return pos_ * 8 + fill_;
+  }
+  [[nodiscard]] bool exhausted() const { return pos_ >= data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  unsigned fill_ = 0;
+};
+
+}  // namespace tac
+
+#endif  // TAC_COMMON_BITIO_HPP

@@ -1,0 +1,125 @@
+#ifndef TAC_COMMON_BYTES_HPP
+#define TAC_COMMON_BYTES_HPP
+
+/// \file bytes.hpp
+/// \brief Little-endian byte buffer serialization with bounds checking.
+///
+/// All on-disk / in-container structures in this library are serialized
+/// through ByteWriter/ByteReader so the format is platform independent and
+/// truncated inputs fail loudly instead of reading garbage.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace tac {
+
+class ByteWriter {
+ public:
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  /// LEB128-style unsigned varint; compact for the many small counts in
+  /// block metadata.
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Length-prefixed byte blob.
+  void put_blob(std::span<const std::uint8_t> bytes) {
+    put_varint(bytes.size());
+    put_bytes(bytes);
+  }
+
+  void put_string(const std::string& s) {
+    put_varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const {
+    return buf_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] T get() {
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+      require(1);
+      const std::uint8_t b = data_[pos_++];
+      if (shift >= 64)
+        throw std::runtime_error("ByteReader: varint overflow");
+      v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+      if (!(b & 0x80u)) return v;
+      shift += 7;
+    }
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> get_bytes(std::size_t n) {
+    require(n);
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> get_blob() {
+    const std::uint64_t n = get_varint();
+    return get_bytes(static_cast<std::size_t>(n));
+  }
+
+  [[nodiscard]] std::string get_string() {
+    const auto s = get_blob();
+    return {reinterpret_cast<const char*>(s.data()), s.size()};
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size())
+      throw std::runtime_error("ByteReader: truncated input");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tac
+
+#endif  // TAC_COMMON_BYTES_HPP

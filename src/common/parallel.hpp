@@ -1,0 +1,58 @@
+#ifndef TAC_COMMON_PARALLEL_HPP
+#define TAC_COMMON_PARALLEL_HPP
+
+/// \file parallel.hpp
+/// \brief Minimal shared-memory parallel loop used by compression batches
+/// and field generation.
+///
+/// Uses OpenMP when compiled with it (the HPC-standard path), otherwise a
+/// std::thread block fan-out. Results must not depend on iteration order;
+/// every call site partitions disjoint output ranges.
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace tac {
+
+/// Number of workers to use for data-parallel loops.
+[[nodiscard]] inline unsigned hardware_parallelism() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+/// Runs body(i) for i in [begin, end) across threads. `grain` is the
+/// smallest worthwhile chunk; short loops run inline.
+template <class Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body,
+                  std::size_t grain = 1024) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (n == 0) return;
+  const unsigned max_threads = hardware_parallelism();
+  const std::size_t chunks = std::min<std::size_t>(max_threads, n / grain);
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = begin; i < end; ++i) body(i);
+#else
+  std::vector<std::thread> workers;
+  workers.reserve(chunks);
+  const std::size_t per = n / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * per;
+    const std::size_t hi = (c + 1 == chunks) ? end : lo + per;
+    workers.emplace_back([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+  for (auto& w : workers) w.join();
+#endif
+}
+
+}  // namespace tac
+
+#endif  // TAC_COMMON_PARALLEL_HPP

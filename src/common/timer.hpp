@@ -1,0 +1,35 @@
+#ifndef TAC_COMMON_TIMER_HPP
+#define TAC_COMMON_TIMER_HPP
+
+/// \file timer.hpp
+/// \brief Wall-clock timing for the throughput metrics (Table 2).
+
+#include <chrono>
+
+namespace tac {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Throughput in MB/s given bytes processed and elapsed seconds, following
+/// the paper's convention (original size / time, MB = 1e6 bytes).
+[[nodiscard]] inline double throughput_mbs(std::size_t bytes, double secs) {
+  return secs > 0 ? static_cast<double>(bytes) / 1e6 / secs : 0.0;
+}
+
+}  // namespace tac
+
+#endif  // TAC_COMMON_TIMER_HPP

@@ -1,0 +1,251 @@
+#include "core/baselines.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "amr/uniform.hpp"
+#include "common/timer.hpp"
+#include "sz/sz.hpp"
+
+namespace tac::core {
+namespace {
+
+/// Resolves a relative bound against an explicit range, falling back to
+/// sz's internal lossless path when the range is degenerate.
+sz::SzConfig resolve_against_range(const sz::SzConfig& cfg, double lo,
+                                   double hi) {
+  if (cfg.mode != sz::ErrorBoundMode::kRelative) return cfg;
+  sz::SzConfig out = cfg;
+  const double abs_eb = cfg.error_bound * (hi - lo);
+  if (abs_eb > 0 && std::isfinite(abs_eb)) {
+    out.mode = sz::ErrorBoundMode::kAbsolute;
+    out.error_bound = abs_eb;
+  }
+  return out;
+}
+
+std::pair<double, double> dataset_valid_range(const amr::AmrDataset& ds) {
+  bool any = false;
+  double lo = 0, hi = 0;
+  for (std::size_t l = 0; l < ds.num_levels(); ++l) {
+    const auto& lv = ds.level(l);
+    if (lv.valid_count() == 0) continue;
+    const auto [llo, lhi] = lv.valid_range();
+    if (!any) {
+      lo = llo;
+      hi = lhi;
+      any = true;
+    } else {
+      lo = std::min(lo, llo);
+      hi = std::max(hi, lhi);
+    }
+  }
+  return {lo, hi};
+}
+
+void visit_zmesh(const amr::AmrDataset& ds, std::size_t level, std::size_t x,
+                 std::size_t y, std::size_t z, auto&& emit) {
+  const amr::AmrLevel& lv = ds.level(level);
+  if (lv.mask(x, y, z)) {
+    emit(level, x, y, z);
+    return;
+  }
+  if (level == 0) return;  // uncovered finest cell: hole in the partition
+  const auto r = static_cast<std::size_t>(ds.refinement_ratio());
+  for (std::size_t dz = 0; dz < r; ++dz)
+    for (std::size_t dy = 0; dy < r; ++dy)
+      for (std::size_t dx = 0; dx < r; ++dx)
+        visit_zmesh(ds, level - 1, x * r + dx, y * r + dy, z * r + dz, emit);
+}
+
+void zmesh_traverse(const amr::AmrDataset& ds, auto&& emit) {
+  if (ds.num_levels() == 0) return;
+  const std::size_t coarsest = ds.num_levels() - 1;
+  const Dims3 cd = ds.level(coarsest).dims();
+  for (std::size_t z = 0; z < cd.nz; ++z)
+    for (std::size_t y = 0; y < cd.ny; ++y)
+      for (std::size_t x = 0; x < cd.nx; ++x)
+        visit_zmesh(ds, coarsest, x, y, z, emit);
+}
+
+}  // namespace
+
+std::vector<double> zmesh_gather(const amr::AmrDataset& ds) {
+  std::vector<double> out;
+  out.reserve(ds.total_valid());
+  zmesh_traverse(ds, [&](std::size_t level, std::size_t x, std::size_t y,
+                         std::size_t z) {
+    out.push_back(ds.level(level).data(x, y, z));
+  });
+  return out;
+}
+
+void zmesh_scatter(amr::AmrDataset& ds, std::span<const double> values) {
+  std::size_t i = 0;
+  zmesh_traverse(ds, [&](std::size_t level, std::size_t x, std::size_t y,
+                         std::size_t z) {
+    if (i >= values.size())
+      throw std::invalid_argument("zmesh_scatter: too few values");
+    ds.level(level).data(x, y, z) = values[i++];
+  });
+  if (i != values.size())
+    throw std::invalid_argument("zmesh_scatter: too many values");
+}
+
+CompressedAmr oned_compress(const amr::AmrDataset& ds,
+                            const sz::SzConfig& cfg) {
+  Timer total;
+  ByteWriter w;
+  write_common_header(w, Method::kOneD, ds);
+
+  CompressReport report;
+  report.method = Method::kOneD;
+  report.original_bytes = ds.original_bytes();
+
+  for (std::size_t l = 0; l < ds.num_levels(); ++l) {
+    const amr::AmrLevel& lv = ds.level(l);
+    LevelReport lr;
+    lr.valid_cells = lv.valid_count();
+    const auto [lo, hi] = lv.valid_range();
+    const sz::SzConfig level_cfg = resolve_against_range(cfg, lo, hi);
+
+    Timer comp;
+    const auto values = lv.gather_valid();
+    const std::size_t before = w.size();
+    if (values.empty()) {
+      w.put_blob({});
+    } else {
+      const auto stream = sz::compress<double>(
+          values, Dims3{values.size(), 1, 1}, level_cfg);
+      lr.abs_error_bound = sz::peek(stream).abs_error_bound;
+      w.put_blob(stream);
+    }
+    lr.compress_seconds = comp.seconds();
+    lr.compressed_bytes = w.size() - before;
+    report.levels.push_back(lr);
+  }
+
+  CompressedAmr out;
+  out.bytes = w.take();
+  report.compressed_bytes = out.bytes.size();
+  report.seconds = total.seconds();
+  out.report = std::move(report);
+  return out;
+}
+
+CompressedAmr zmesh_compress(const amr::AmrDataset& ds,
+                             const sz::SzConfig& cfg) {
+  Timer total;
+  ByteWriter w;
+  write_common_header(w, Method::kZMesh, ds);
+
+  CompressReport report;
+  report.method = Method::kZMesh;
+  report.original_bytes = ds.original_bytes();
+
+  Timer pre;
+  const auto values = zmesh_gather(ds);
+  const double pre_secs = pre.seconds();
+
+  const auto [lo, hi] = dataset_valid_range(ds);
+  const sz::SzConfig stream_cfg = resolve_against_range(cfg, lo, hi);
+
+  LevelReport lr;  // single interleaved stream: reported as one entry
+  lr.valid_cells = values.size();
+  lr.preprocess_seconds = pre_secs;
+  Timer comp;
+  if (values.empty()) {
+    w.put_blob({});
+  } else {
+    const auto stream =
+        sz::compress<double>(values, Dims3{values.size(), 1, 1}, stream_cfg);
+    lr.abs_error_bound = sz::peek(stream).abs_error_bound;
+    w.put_blob(stream);
+  }
+  lr.compress_seconds = comp.seconds();
+
+  CompressedAmr out;
+  out.bytes = w.take();
+  lr.compressed_bytes = out.bytes.size();
+  report.levels.push_back(lr);
+  report.compressed_bytes = out.bytes.size();
+  report.seconds = total.seconds();
+  out.report = std::move(report);
+  return out;
+}
+
+CompressedAmr upsample3d_compress(const amr::AmrDataset& ds,
+                                  const sz::SzConfig& cfg) {
+  Timer total;
+  ByteWriter w;
+  write_common_header(w, Method::kUpsample3D, ds);
+
+  CompressReport report;
+  report.method = Method::kUpsample3D;
+  report.original_bytes = ds.original_bytes();
+
+  Timer pre;
+  const Array3D<double> uniform = amr::compose_uniform(ds);
+  LevelReport lr;
+  lr.valid_cells = ds.total_valid();
+  lr.preprocess_seconds = pre.seconds();
+
+  const auto [lo, hi] = dataset_valid_range(ds);
+  const sz::SzConfig stream_cfg = resolve_against_range(cfg, lo, hi);
+
+  Timer comp;
+  const auto stream =
+      sz::compress<double>(uniform.span(), uniform.dims(), stream_cfg);
+  lr.compress_seconds = comp.seconds();
+  lr.abs_error_bound = sz::peek(stream).abs_error_bound;
+  w.put_blob(stream);
+
+  CompressedAmr out;
+  out.bytes = w.take();
+  lr.compressed_bytes = out.bytes.size();
+  report.levels.push_back(lr);
+  report.compressed_bytes = out.bytes.size();
+  report.seconds = total.seconds();
+  out.report = std::move(report);
+  return out;
+}
+
+amr::AmrDataset baselines_decompress(Method method, ByteReader& r,
+                                     amr::AmrDataset skeleton) {
+  switch (method) {
+    case Method::kOneD: {
+      for (std::size_t l = 0; l < skeleton.num_levels(); ++l) {
+        amr::AmrLevel& lv = skeleton.level(l);
+        const auto stream = r.get_blob();
+        if (stream.empty()) {
+          lv.scatter_valid({});
+        } else {
+          const auto values = sz::decompress<double>(stream);
+          lv.scatter_valid(values);
+        }
+      }
+      return skeleton;
+    }
+    case Method::kZMesh: {
+      const auto stream = r.get_blob();
+      if (stream.empty()) return skeleton;
+      const auto values = sz::decompress<double>(stream);
+      zmesh_scatter(skeleton, values);
+      return skeleton;
+    }
+    case Method::kUpsample3D: {
+      const auto stream = r.get_blob();
+      const auto flat = sz::decompress<double>(stream);
+      const Dims3 fd = skeleton.finest_dims();
+      if (flat.size() != fd.volume())
+        throw std::runtime_error("3D baseline: payload size mismatch");
+      const Array3D<double> uniform(fd, std::vector<double>(flat));
+      amr::distribute_uniform(uniform, skeleton);
+      return skeleton;
+    }
+    default:
+      throw std::runtime_error("baselines_decompress: not a baseline tag");
+  }
+}
+
+}  // namespace tac::core

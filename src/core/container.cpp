@@ -1,0 +1,88 @@
+#include "core/container.hpp"
+
+#include <stdexcept>
+
+#include "amr/amr_io.hpp"
+#include "lossless/codec.hpp"
+
+namespace tac::core {
+namespace {
+constexpr std::uint32_t kMagic = 0x43434154;  // "TACC"
+constexpr std::uint8_t kVersion = 1;
+}  // namespace
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::kTac: return "TAC";
+    case Method::kOneD: return "1D";
+    case Method::kZMesh: return "zMesh";
+    case Method::kUpsample3D: return "3D";
+  }
+  return "?";
+}
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kNaST: return "NaST";
+    case Strategy::kOpST: return "OpST";
+    case Strategy::kAKDTree: return "AKDTree";
+    case Strategy::kGSP: return "GSP";
+    case Strategy::kZF: return "ZF";
+  }
+  return "?";
+}
+
+void write_common_header(ByteWriter& w, Method method,
+                         const amr::AmrDataset& ds) {
+  w.put<std::uint32_t>(kMagic);
+  w.put<std::uint8_t>(kVersion);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(method));
+  w.put_string(ds.field_name());
+  w.put_varint(static_cast<std::uint64_t>(ds.refinement_ratio()));
+  w.put_varint(ds.num_levels());
+  for (std::size_t l = 0; l < ds.num_levels(); ++l) {
+    const auto& lv = ds.level(l);
+    w.put_varint(lv.dims().nx);
+    w.put_varint(lv.dims().ny);
+    w.put_varint(lv.dims().nz);
+    const auto packed = amr::pack_mask(lv.mask.span());
+    w.put_blob(lossless::compress(packed));
+  }
+}
+
+CommonHeader read_common_header(ByteReader& r) {
+  if (r.get<std::uint32_t>() != kMagic)
+    throw std::runtime_error("container: bad magic");
+  if (r.get<std::uint8_t>() != kVersion)
+    throw std::runtime_error("container: unsupported version");
+  CommonHeader h;
+  h.method = static_cast<Method>(r.get<std::uint8_t>());
+  const std::string field = r.get_string();
+  const int ratio = static_cast<int>(r.get_varint());
+  const std::size_t nlevels = static_cast<std::size_t>(r.get_varint());
+  std::vector<amr::AmrLevel> levels;
+  levels.reserve(nlevels);
+  for (std::size_t l = 0; l < nlevels; ++l) {
+    Dims3 d;
+    d.nx = static_cast<std::size_t>(r.get_varint());
+    d.ny = static_cast<std::size_t>(r.get_varint());
+    d.nz = static_cast<std::size_t>(r.get_varint());
+    amr::AmrLevel lv(d);
+    const auto packed = lossless::decompress(r.get_blob());
+    const auto mask = amr::unpack_mask(packed, d.volume());
+    std::copy(mask.begin(), mask.end(), lv.mask.data());
+    levels.push_back(std::move(lv));
+  }
+  h.skeleton = amr::AmrDataset(field, std::move(levels), ratio);
+  return h;
+}
+
+Method peek_method(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.get<std::uint32_t>() != kMagic)
+    throw std::runtime_error("container: bad magic");
+  (void)r.get<std::uint8_t>();
+  return static_cast<Method>(r.get<std::uint8_t>());
+}
+
+}  // namespace tac::core

@@ -1,0 +1,59 @@
+#ifndef TAC_CORE_CONTAINER_HPP
+#define TAC_CORE_CONTAINER_HPP
+
+/// \file container.hpp
+/// \brief Self-describing container for compressed AMR datasets.
+///
+/// Every compression path (TAC, the 1D/zMesh baselines, the 3D up-sampling
+/// baseline) emits the same outer header — method tag, field name,
+/// refinement ratio and the losslessly-stored per-level masks (the AMR
+/// structure metadata real snapshot formats keep exactly) — followed by a
+/// method-specific payload. `decompress_any` dispatches on the tag.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "amr/dataset.hpp"
+#include "common/bytes.hpp"
+
+namespace tac::core {
+
+enum class Method : std::uint8_t {
+  kTac = 0,         ///< level-wise 3D with density-adaptive pre-processing
+  kOneD = 1,        ///< naive 1D baseline: each level as a 1D stream
+  kZMesh = 2,       ///< zMesh reordering baseline: interleaved 1D stream
+  kUpsample3D = 3,  ///< 3D baseline: up-sample to uniform, one 3D stream
+};
+
+enum class Strategy : std::uint8_t {
+  kNaST = 0,
+  kOpST = 1,
+  kAKDTree = 2,
+  kGSP = 3,
+  kZF = 4,
+};
+
+[[nodiscard]] const char* to_string(Method m);
+[[nodiscard]] const char* to_string(Strategy s);
+
+/// Writes the outer header: method, field, ratio and level masks.
+void write_common_header(ByteWriter& w, Method method,
+                         const amr::AmrDataset& ds);
+
+/// The decoded outer header: a structurally complete dataset whose level
+/// data arrays are zero, ready for a method-specific payload to fill.
+struct CommonHeader {
+  Method method = Method::kTac;
+  amr::AmrDataset skeleton;
+};
+
+[[nodiscard]] CommonHeader read_common_header(ByteReader& r);
+
+/// Reads only the method tag (cheap sniffing).
+[[nodiscard]] Method peek_method(std::span<const std::uint8_t> bytes);
+
+}  // namespace tac::core
+
+#endif  // TAC_CORE_CONTAINER_HPP

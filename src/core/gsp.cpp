@@ -1,0 +1,143 @@
+#include "core/gsp.hpp"
+
+#include "common/parallel.hpp"
+
+namespace tac::core {
+namespace {
+
+/// One face's ghost contribution to an empty block: the neighbour's
+/// boundary slice, averaged over its first `y_slices` planes cell by cell
+/// (Algorithm 3 line 4: "pad slice = avg(first y slices of n_j next to
+/// b_i)"). Cells of the slice that are invalid in the neighbour fall back
+/// to the slice's valid mean so steep fields never pad with structural
+/// zeros.
+struct FaceSlice {
+  // Indexed by the two in-face axes (u, v) of the *empty block's* box.
+  std::vector<double> values;
+  std::size_t nu = 0, nv = 0;
+  bool any_valid = false;
+};
+
+/// Extracts the ghost slice of neighbour block `nb` facing the empty block
+/// along `axis`; `dir=+1` means the neighbour sits at higher coordinates
+/// (its low boundary faces us). The slice is sampled on the empty block's
+/// face extents (eu, ev).
+FaceSlice face_slice(const amr::AmrLevel& level, const BlockGrid& grid,
+                     std::size_t nbx, std::size_t nby, std::size_t nbz,
+                     int axis, int dir, std::size_t eu, std::size_t ev,
+                     std::size_t y_slices) {
+  const Box3 nbox = grid.block_box(nbx, nby, nbz);
+  FaceSlice out;
+  out.nu = eu;
+  out.nv = ev;
+  out.values.assign(eu * ev, 0.0);
+  std::vector<std::size_t> counts(eu * ev, 0);
+
+  // In-face axes: the two axes other than `axis`, in (x,y,z) order.
+  const int ua = axis == 0 ? 1 : 0;
+  const int va = axis == 2 ? 1 : 2;
+
+  const std::size_t lo[3] = {nbox.x0, nbox.y0, nbox.z0};
+  const std::size_t hi[3] = {nbox.x1, nbox.y1, nbox.z1};
+  const std::size_t depth = std::min(y_slices, hi[axis] - lo[axis]);
+
+  double slice_sum = 0;
+  std::size_t slice_count = 0;
+  for (std::size_t t = 0; t < depth; ++t) {
+    // dir > 0: neighbour above us, walk its low planes; else its high.
+    const std::size_t plane =
+        dir > 0 ? lo[axis] + t : hi[axis] - 1 - t;
+    std::size_t c[3];
+    c[axis] = plane;
+    for (std::size_t u = 0; u < std::min(eu, hi[ua] - lo[ua]); ++u)
+      for (std::size_t v = 0; v < std::min(ev, hi[va] - lo[va]); ++v) {
+        c[ua] = lo[ua] + u;
+        c[va] = lo[va] + v;
+        if (!level.mask(c[0], c[1], c[2])) continue;
+        const double val = level.data(c[0], c[1], c[2]);
+        out.values[u * ev + v] += val;
+        ++counts[u * ev + v];
+        slice_sum += val;
+        ++slice_count;
+      }
+  }
+  if (slice_count == 0) return out;  // neighbour face entirely invalid
+  out.any_valid = true;
+  const double mean = slice_sum / static_cast<double>(slice_count);
+  for (std::size_t i = 0; i < out.values.size(); ++i)
+    out.values[i] = counts[i] > 0
+                        ? out.values[i] / static_cast<double>(counts[i])
+                        : mean;
+  return out;
+}
+
+}  // namespace
+
+Array3D<double> gsp_pad(const amr::AmrLevel& level, const BlockGrid& grid,
+                        const Array3D<std::uint8_t>& occupancy) {
+  Array3D<double> out = level.data;
+  const Dims3 bd = grid.block_dims();
+  const std::size_t y_slices = 1;  // Algorithm 3 parameter y
+
+  parallel_for(0, bd.nz, [&](std::size_t bz) {
+    for (std::size_t by = 0; by < bd.ny; ++by)
+      for (std::size_t bx = 0; bx < bd.nx; ++bx) {
+        if (occupancy(bx, by, bz)) continue;
+        const Box3 box = grid.block_box(bx, by, bz);
+        const Dims3 ext = box.extents();
+        // Per-cell accumulation: each non-empty face neighbour extends its
+        // ghost slice through the block; cells reached by several faces
+        // average them (the paper's /2 edge and /3 corner overlap rule is
+        // exactly this mean for full-depth pads).
+        std::vector<double> acc(ext.volume(), 0.0);
+        std::vector<std::uint8_t> cnt(ext.volume(), 0);
+
+        const std::ptrdiff_t coords[3] = {static_cast<std::ptrdiff_t>(bx),
+                                          static_cast<std::ptrdiff_t>(by),
+                                          static_cast<std::ptrdiff_t>(bz)};
+        const std::size_t bext[3] = {bd.nx, bd.ny, bd.nz};
+        const std::size_t cext[3] = {ext.nx, ext.ny, ext.nz};
+        for (int axis = 0; axis < 3; ++axis) {
+          const int ua = axis == 0 ? 1 : 0;
+          const int va = axis == 2 ? 1 : 2;
+          for (int dir = -1; dir <= 1; dir += 2) {
+            const std::ptrdiff_t n = coords[axis] + dir;
+            if (n < 0 || static_cast<std::size_t>(n) >= bext[axis]) continue;
+            std::size_t nb[3] = {bx, by, bz};
+            nb[axis] = static_cast<std::size_t>(n);
+            if (!occupancy(nb[0], nb[1], nb[2])) continue;
+            const FaceSlice slice =
+                face_slice(level, grid, nb[0], nb[1], nb[2], axis, dir,
+                           cext[ua], cext[va], y_slices);
+            if (!slice.any_valid) continue;
+            // Extend the slice through the full block depth (Algorithm 3
+            // parameter x = block size).
+            for (std::size_t t = 0; t < cext[axis]; ++t)
+              for (std::size_t u = 0; u < cext[ua]; ++u)
+                for (std::size_t v = 0; v < cext[va]; ++v) {
+                  std::size_t c[3];
+                  c[axis] = t;
+                  c[ua] = u;
+                  c[va] = v;
+                  const std::size_t idx = ext.index(c[0], c[1], c[2]);
+                  acc[idx] += slice.values[u * slice.nv + v];
+                  ++cnt[idx];
+                }
+          }
+        }
+        for (std::size_t z = 0; z < ext.nz; ++z)
+          for (std::size_t y = 0; y < ext.ny; ++y)
+            for (std::size_t x = 0; x < ext.nx; ++x) {
+              const std::size_t idx = ext.index(x, y, z);
+              if (cnt[idx] > 0)
+                out(box.x0 + x, box.y0 + y, box.z0 + z) =
+                    acc[idx] / static_cast<double>(cnt[idx]);
+            }
+      }
+  }, /*grain=*/1);
+  return out;
+}
+
+Array3D<double> zf_pad(const amr::AmrLevel& level) { return level.data; }
+
+}  // namespace tac::core

@@ -1,0 +1,33 @@
+#ifndef TAC_CORE_GSP_HPP
+#define TAC_CORE_GSP_HPP
+
+/// \file gsp.hpp
+/// \brief Ghost-shell padding for high-density levels (paper §3.3).
+///
+/// Instead of removing the few empty regions of a dense level, GSP fills
+/// each empty unit block that touches data with the average of its
+/// non-empty face neighbours' boundary-slice values. Zeros would mislead
+/// the Lorenzo predictor at every boundary (the paper's Figure 12a); the
+/// diffused ghost values keep the field locally smooth. Padded values are
+/// discarded on decompression — the losslessly-stored mask identifies them.
+
+#include "amr/dataset.hpp"
+#include "common/array3d.hpp"
+#include "core/block_grid.hpp"
+
+namespace tac::core {
+
+/// Returns a full-grid copy of the level with ghost-shell padding applied
+/// to empty unit blocks adjacent to non-empty ones. Empty blocks with no
+/// non-empty neighbour stay zero.
+[[nodiscard]] Array3D<double> gsp_pad(const amr::AmrLevel& level,
+                                      const BlockGrid& grid,
+                                      const Array3D<std::uint8_t>& occupancy);
+
+/// Zero filling (ZF baseline of Figure 12): the raw level grid, empty
+/// cells left at zero.
+[[nodiscard]] Array3D<double> zf_pad(const amr::AmrLevel& level);
+
+}  // namespace tac::core
+
+#endif  // TAC_CORE_GSP_HPP

@@ -1,0 +1,43 @@
+#include <stdexcept>
+
+#include "amr/snapshot.hpp"
+#include "common/bytes.hpp"
+#include "core/adaptive.hpp"
+#include "core/tac.hpp"
+
+namespace tac::core {
+namespace {
+constexpr std::uint32_t kMagic = 0x53434154;  // "TACS"
+constexpr std::uint8_t kVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> compress_snapshot(const amr::Snapshot& s,
+                                            const TacConfig& cfg) {
+  if (s.fields.empty())
+    throw std::invalid_argument("compress_snapshot: no fields");
+  ByteWriter w;
+  w.put<std::uint32_t>(kMagic);
+  w.put<std::uint8_t>(kVersion);
+  w.put_varint(s.fields.size());
+  for (const auto& ds : s.fields) {
+    const auto compressed = adaptive_compress(ds, cfg);
+    w.put_blob(compressed.bytes);
+  }
+  return w.take();
+}
+
+amr::Snapshot decompress_snapshot(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.get<std::uint32_t>() != kMagic)
+    throw std::runtime_error("snapshot container: bad magic");
+  if (r.get<std::uint8_t>() != kVersion)
+    throw std::runtime_error("snapshot container: unsupported version");
+  amr::Snapshot s;
+  const std::size_t n = static_cast<std::size_t>(r.get_varint());
+  s.fields.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    s.fields.push_back(decompress_any(r.get_blob()));
+  return s;
+}
+
+}  // namespace tac::core

@@ -1,0 +1,251 @@
+#include "core/tac.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "core/baselines.hpp"
+#include "core/extraction.hpp"
+#include "core/gsp.hpp"
+#include "sz/sz.hpp"
+
+namespace tac::core {
+namespace {
+
+/// Resolves the absolute bound for one level. Relative bounds use the
+/// level's valid-value range so every stream of the level shares one
+/// bound (a per-group range would silently vary the bound inside a level).
+sz::SzConfig resolve_level_config(const TacConfig& cfg, std::size_t level,
+                                  const amr::AmrLevel& lv) {
+  sz::SzConfig out = cfg.sz;
+  if (!cfg.level_error_bounds.empty()) {
+    out.mode = sz::ErrorBoundMode::kAbsolute;
+    out.error_bound = cfg.level_error_bounds.at(level);
+    return out;
+  }
+  if (cfg.sz.mode == sz::ErrorBoundMode::kRelative) {
+    const auto [lo, hi] = lv.valid_range();
+    const double abs_eb = cfg.sz.error_bound * (hi - lo);
+    if (abs_eb > 0 && std::isfinite(abs_eb)) {
+      out.mode = sz::ErrorBoundMode::kAbsolute;
+      out.error_bound = abs_eb;
+    }
+    // Degenerate range: leave kRelative; the sz layer falls back to its
+    // lossless outlier path.
+  }
+  return out;
+}
+
+void serialize_groups(ByteWriter& w, const std::vector<BlockGroup>& groups,
+                      const std::vector<std::vector<std::uint8_t>>& streams) {
+  w.put_varint(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const BlockGroup& grp = groups[g];
+    w.put_varint(grp.members.front().sx);
+    w.put_varint(grp.members.front().sy);
+    w.put_varint(grp.members.front().sz);
+    w.put_varint(grp.members.size());
+    for (const SubBlock& sb : grp.members) {
+      w.put_varint(sb.bx);
+      w.put_varint(sb.by);
+      w.put_varint(sb.bz);
+    }
+    w.put_blob(streams[g]);
+  }
+}
+
+struct DecodedGroups {
+  std::vector<BlockGroup> groups;  ///< buffers filled from the streams
+};
+
+DecodedGroups deserialize_groups(ByteReader& r, std::size_t block_size) {
+  DecodedGroups out;
+  const std::size_t ngroups = static_cast<std::size_t>(r.get_varint());
+  out.groups.reserve(ngroups);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    BlockGroup grp;
+    const std::size_t sx = static_cast<std::size_t>(r.get_varint());
+    const std::size_t sy = static_cast<std::size_t>(r.get_varint());
+    const std::size_t sz_ = static_cast<std::size_t>(r.get_varint());
+    grp.block_cell_dims = {sx * block_size, sy * block_size,
+                           sz_ * block_size};
+    const std::size_t nmembers = static_cast<std::size_t>(r.get_varint());
+    grp.members.reserve(nmembers);
+    for (std::size_t m = 0; m < nmembers; ++m) {
+      SubBlock sb;
+      sb.bx = static_cast<std::size_t>(r.get_varint());
+      sb.by = static_cast<std::size_t>(r.get_varint());
+      sb.bz = static_cast<std::size_t>(r.get_varint());
+      sb.sx = sx;
+      sb.sy = sy;
+      sb.sz = sz_;
+      grp.members.push_back(sb);
+    }
+    const auto stream = r.get_blob();
+    grp.buffer = sz::decompress<double>(stream);
+    const std::size_t expect = grp.block_cell_dims.volume() * nmembers;
+    if (grp.buffer.size() != expect)
+      throw std::runtime_error("tac: group payload size mismatch");
+    out.groups.push_back(std::move(grp));
+  }
+  return out;
+}
+
+/// Zeroes every invalid cell — padded or residual values inside extracted
+/// blocks must not leak into the reconstructed level.
+void apply_mask(amr::AmrLevel& lv) {
+  for (std::size_t i = 0; i < lv.data.size(); ++i)
+    if (!lv.mask[i]) lv.data[i] = 0.0;
+}
+
+}  // namespace
+
+Strategy select_strategy(double block_density, double t1, double t2) {
+  if (block_density < t1) return Strategy::kOpST;
+  if (block_density < t2) return Strategy::kAKDTree;
+  return Strategy::kGSP;
+}
+
+CompressedAmr tac_compress(const amr::AmrDataset& ds, const TacConfig& cfg) {
+  if (ds.num_levels() == 0)
+    throw std::invalid_argument("tac_compress: empty dataset");
+  if (!cfg.level_error_bounds.empty() &&
+      cfg.level_error_bounds.size() != ds.num_levels())
+    throw std::invalid_argument(
+        "tac_compress: level_error_bounds size != level count");
+  if (cfg.block_size == 0)
+    throw std::invalid_argument("tac_compress: block_size must be > 0");
+
+  Timer total;
+  ByteWriter w;
+  write_common_header(w, Method::kTac, ds);
+
+  CompressReport report;
+  report.method = Method::kTac;
+  report.original_bytes = ds.original_bytes();
+
+  for (std::size_t l = 0; l < ds.num_levels(); ++l) {
+    const amr::AmrLevel& lv = ds.level(l);
+    LevelReport lr;
+    lr.valid_cells = lv.valid_count();
+
+    Timer pre;
+    const BlockGrid grid(lv.dims(), cfg.block_size);
+    const auto occ = block_occupancy(lv, grid);
+    lr.block_density = occupancy_density(occ);
+    lr.strategy = cfg.force_strategy.value_or(
+        select_strategy(lr.block_density, cfg.t1, cfg.t2));
+
+    const sz::SzConfig level_cfg = resolve_level_config(cfg, l, lv);
+
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(lr.strategy));
+    w.put_varint(cfg.block_size);
+
+    const std::size_t bytes_before = w.size();
+    switch (lr.strategy) {
+      case Strategy::kNaST:
+      case Strategy::kOpST:
+      case Strategy::kAKDTree: {
+        std::vector<SubBlock> subs;
+        if (lr.strategy == Strategy::kNaST)
+          subs = nast_extract(occ);
+        else if (lr.strategy == Strategy::kOpST)
+          subs = opst_extract(occ);
+        else
+          subs = akdtree_extract(occ);
+        auto groups = gather_groups(lv, grid, subs);
+        lr.preprocess_seconds = pre.seconds();
+        lr.n_sub_blocks = subs.size();
+        lr.n_groups = groups.size();
+
+        Timer comp;
+        std::vector<std::vector<std::uint8_t>> streams;
+        streams.reserve(groups.size());
+        for (const BlockGroup& g : groups) {
+          streams.push_back(sz::compress<double>(
+              g.buffer, g.block_cell_dims, level_cfg, g.members.size()));
+          lr.abs_error_bound = sz::peek(streams.back()).abs_error_bound;
+        }
+        lr.compress_seconds = comp.seconds();
+        serialize_groups(w, groups, streams);
+        break;
+      }
+      case Strategy::kGSP:
+      case Strategy::kZF: {
+        const Array3D<double> padded = lr.strategy == Strategy::kGSP
+                                           ? gsp_pad(lv, grid, occ)
+                                           : zf_pad(lv);
+        lr.preprocess_seconds = pre.seconds();
+        lr.n_groups = 1;
+
+        Timer comp;
+        const auto stream =
+            sz::compress<double>(padded.span(), padded.dims(), level_cfg);
+        lr.compress_seconds = comp.seconds();
+        lr.abs_error_bound = sz::peek(stream).abs_error_bound;
+        w.put_blob(stream);
+        break;
+      }
+    }
+    lr.compressed_bytes = w.size() - bytes_before;
+    report.levels.push_back(lr);
+  }
+
+  CompressedAmr out;
+  out.bytes = w.take();
+  report.compressed_bytes = out.bytes.size();
+  report.seconds = total.seconds();
+  out.report = std::move(report);
+  return out;
+}
+
+namespace {
+
+amr::AmrDataset decompress_tac(ByteReader& r, amr::AmrDataset skeleton) {
+  for (std::size_t l = 0; l < skeleton.num_levels(); ++l) {
+    amr::AmrLevel& lv = skeleton.level(l);
+    const auto strategy = static_cast<Strategy>(r.get<std::uint8_t>());
+    const std::size_t block_size = static_cast<std::size_t>(r.get_varint());
+    const BlockGrid grid(lv.dims(), block_size);
+    switch (strategy) {
+      case Strategy::kNaST:
+      case Strategy::kOpST:
+      case Strategy::kAKDTree: {
+        const DecodedGroups dg = deserialize_groups(r, block_size);
+        scatter_groups(lv, grid, dg.groups);
+        break;
+      }
+      case Strategy::kGSP:
+      case Strategy::kZF: {
+        const auto stream = r.get_blob();
+        auto grid_data = sz::decompress<double>(stream);
+        if (grid_data.size() != lv.dims().volume())
+          throw std::runtime_error("tac: level payload size mismatch");
+        lv.data = Array3D<double>(lv.dims(), std::move(grid_data));
+        break;
+      }
+      default:
+        throw std::runtime_error("tac: unknown strategy tag");
+    }
+    apply_mask(lv);
+  }
+  return skeleton;
+}
+
+}  // namespace
+
+amr::AmrDataset decompress_any(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  CommonHeader h = read_common_header(r);
+  switch (h.method) {
+    case Method::kTac:
+      return decompress_tac(r, std::move(h.skeleton));
+    case Method::kOneD:
+    case Method::kZMesh:
+    case Method::kUpsample3D:
+      return baselines_decompress(h.method, r, std::move(h.skeleton));
+  }
+  throw std::runtime_error("container: unknown method tag");
+}
+
+}  // namespace tac::core

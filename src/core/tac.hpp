@@ -1,0 +1,82 @@
+#ifndef TAC_CORE_TAC_HPP
+#define TAC_CORE_TAC_HPP
+
+/// \file tac.hpp
+/// \brief TAC: level-wise 3D error-bounded compression of AMR data with
+/// density-adaptive pre-processing (the paper's primary contribution).
+///
+/// Per level, a density filter picks the pre-process strategy
+/// (§3.4):   density < T1 -> OpST,   T1 <= density < T2 -> AKDTree,
+/// density >= T2 -> GSP;  the processed data then goes through the
+/// SZ-style 3D compressor. Level-wise compression also permits per-level
+/// error bounds (§4.5, the adaptive-error-bound analyses).
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "amr/dataset.hpp"
+#include "core/container.hpp"
+#include "sz/config.hpp"
+
+namespace tac::core {
+
+struct TacConfig {
+  /// Error bound applied to every level unless level_error_bounds is set.
+  /// Relative bounds resolve against each level's valid-value range.
+  sz::SzConfig sz{};
+  /// Optional per-level absolute error bounds, finest first (the adaptive
+  /// error bound mechanism). When non-empty, must have one entry per level.
+  std::vector<double> level_error_bounds;
+  /// Unit block side in cells.
+  std::size_t block_size = 8;
+  /// Density thresholds of the hybrid filter (fractions of non-empty unit
+  /// blocks). Paper values: T1 = 50%, T2 = 60%.
+  double t1 = 0.50;
+  double t2 = 0.60;
+  /// Overrides the density filter for every level (strategy experiments).
+  std::optional<Strategy> force_strategy;
+};
+
+/// Per-level compression diagnostics.
+struct LevelReport {
+  Strategy strategy = Strategy::kOpST;
+  double block_density = 0;      ///< non-empty unit-block fraction
+  double abs_error_bound = 0;    ///< bound actually applied
+  std::size_t valid_cells = 0;
+  std::size_t compressed_bytes = 0;
+  std::size_t n_sub_blocks = 0;  ///< extraction output (0 for GSP/ZF)
+  std::size_t n_groups = 0;      ///< batched streams (1 for GSP/ZF)
+  double preprocess_seconds = 0;
+  double compress_seconds = 0;
+};
+
+struct CompressReport {
+  Method method = Method::kTac;
+  std::vector<LevelReport> levels;
+  std::size_t original_bytes = 0;    ///< valid cells * sizeof(double)
+  std::size_t compressed_bytes = 0;  ///< container size
+  double seconds = 0;                ///< wall time incl. pre-processing
+};
+
+struct CompressedAmr {
+  std::vector<std::uint8_t> bytes;
+  CompressReport report;
+};
+
+/// Picks the strategy for one level density per the hybrid filter.
+[[nodiscard]] Strategy select_strategy(double block_density, double t1,
+                                       double t2);
+
+/// Compresses a dataset with TAC.
+[[nodiscard]] CompressedAmr tac_compress(const amr::AmrDataset& ds,
+                                         const TacConfig& cfg);
+
+/// Decompresses any container produced by this library (TAC or baselines),
+/// dispatching on the method tag.
+[[nodiscard]] amr::AmrDataset decompress_any(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace tac::core
+
+#endif  // TAC_CORE_TAC_HPP

@@ -1,0 +1,92 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+
+namespace tac::fft {
+namespace {
+
+/// Bit-reversal permutation for an array of length n = 2^k.
+void bit_reverse(std::span<Complex> a) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+}  // namespace
+
+void fft_1d(std::span<Complex> a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n == 0) return;
+  if (!is_pow2(n))
+    throw std::invalid_argument("fft_1d: length must be a power of two");
+  bit_reverse(a);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                       static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : a) x *= inv_n;
+  }
+}
+
+void fft_3d(Array3D<Complex>& data, bool inverse) {
+  const Dims3 d = data.dims();
+  if (!is_pow2(d.nx) || !is_pow2(d.ny) || !is_pow2(d.nz))
+    throw std::invalid_argument("fft_3d: extents must be powers of two");
+
+  // Along x: contiguous rows.
+  parallel_for(0, d.ny * d.nz, [&](std::size_t row) {
+    const std::size_t y = row % d.ny;
+    const std::size_t z = row / d.ny;
+    fft_1d(std::span<Complex>(&data(0, y, z), d.nx), inverse);
+  });
+
+  // Along y and z: gather strided lines into a scratch buffer.
+  parallel_for(0, d.nx * d.nz, [&](std::size_t line) {
+    const std::size_t x = line % d.nx;
+    const std::size_t z = line / d.nx;
+    std::vector<Complex> buf(d.ny);
+    for (std::size_t y = 0; y < d.ny; ++y) buf[y] = data(x, y, z);
+    fft_1d(buf, inverse);
+    for (std::size_t y = 0; y < d.ny; ++y) data(x, y, z) = buf[y];
+  });
+
+  parallel_for(0, d.nx * d.ny, [&](std::size_t line) {
+    const std::size_t x = line % d.nx;
+    const std::size_t y = line / d.nx;
+    std::vector<Complex> buf(d.nz);
+    for (std::size_t z = 0; z < d.nz; ++z) buf[z] = data(x, y, z);
+    fft_1d(buf, inverse);
+    for (std::size_t z = 0; z < d.nz; ++z) data(x, y, z) = buf[z];
+  });
+}
+
+Array3D<Complex> fft_3d_real(const Array3D<double>& field) {
+  Array3D<Complex> out(field.dims());
+  for (std::size_t i = 0; i < field.size(); ++i)
+    out[i] = Complex(field[i], 0.0);
+  fft_3d(out, /*inverse=*/false);
+  return out;
+}
+
+}  // namespace tac::fft

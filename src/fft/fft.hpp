@@ -1,0 +1,41 @@
+#ifndef TAC_FFT_FFT_HPP
+#define TAC_FFT_FFT_HPP
+
+/// \file fft.hpp
+/// \brief Iterative radix-2 FFT with 3D transforms.
+///
+/// Substrate for two consumers: the Gaussian-random-field generator in
+/// simnyx (inverse transform of spectrally-shaped noise) and the matter
+/// power spectrum analysis (forward transform of the density contrast).
+/// Grid extents must be powers of two — every grid in this reproduction is.
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "common/array3d.hpp"
+#include "common/dims.hpp"
+
+namespace tac::fft {
+
+using Complex = std::complex<double>;
+
+/// True if n is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// In-place forward (`inverse = false`) or inverse (`inverse = true`)
+/// transform. The inverse includes the 1/n normalization, so
+/// ifft(fft(x)) == x. Length must be a power of two.
+void fft_1d(std::span<Complex> data, bool inverse);
+
+/// 3D transform applied axis by axis. All extents must be powers of two.
+void fft_3d(Array3D<Complex>& data, bool inverse);
+
+/// Convenience: forward transform of a real field.
+[[nodiscard]] Array3D<Complex> fft_3d_real(const Array3D<double>& field);
+
+}  // namespace tac::fft
+
+#endif  // TAC_FFT_FFT_HPP

@@ -1,0 +1,43 @@
+#include "lossless/codec.hpp"
+
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+#include "lossless/lzss.hpp"
+
+namespace tac::lossless {
+namespace {
+enum class Method : std::uint8_t { kStored = 0, kLzss = 1 };
+}  // namespace
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
+  auto packed = lzss_compress(input);
+  ByteWriter w;
+  if (packed.size() < input.size()) {
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(Method::kLzss));
+    w.put_bytes(packed);
+  } else {
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(Method::kStored));
+    w.put_varint(input.size());
+    w.put_bytes(input);
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> decompress(
+    std::span<const std::uint8_t> compressed) {
+  ByteReader r(compressed);
+  const auto method = static_cast<Method>(r.get<std::uint8_t>());
+  switch (method) {
+    case Method::kLzss:
+      return lzss_decompress(r.get_bytes(r.remaining()));
+    case Method::kStored: {
+      const std::uint64_t n = r.get_varint();
+      const auto bytes = r.get_bytes(static_cast<std::size_t>(n));
+      return {bytes.begin(), bytes.end()};
+    }
+  }
+  throw std::runtime_error("lossless: unknown method byte");
+}
+
+}  // namespace tac::lossless

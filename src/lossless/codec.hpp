@@ -1,0 +1,27 @@
+#ifndef TAC_LOSSLESS_CODEC_HPP
+#define TAC_LOSSLESS_CODEC_HPP
+
+/// \file codec.hpp
+/// \brief Byte-stream lossless codec used as the final compression stage.
+///
+/// Mirrors SZ's "customized Huffman + lossless" tail: the caller entropy
+/// codes its symbols, then runs the whole payload through this dictionary
+/// stage. Falls back to a stored block when compression does not pay.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tac::lossless {
+
+/// Compresses arbitrary bytes; never loses data, never grows the payload by
+/// more than one header byte plus the varint size.
+[[nodiscard]] std::vector<std::uint8_t> compress(
+    std::span<const std::uint8_t> input);
+
+[[nodiscard]] std::vector<std::uint8_t> decompress(
+    std::span<const std::uint8_t> compressed);
+
+}  // namespace tac::lossless
+
+#endif  // TAC_LOSSLESS_CODEC_HPP

@@ -1,0 +1,268 @@
+#include "lossless/huffman.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/bitio.hpp"
+#include "common/bytes.hpp"
+
+namespace tac::lossless {
+namespace {
+
+/// Computes optimal code lengths for the given (symbol, freq) pairs using
+/// the standard two-queue merge over sorted leaves; O(n log n) from the
+/// sort, O(n) merge.
+std::vector<std::uint8_t> code_lengths(
+    std::vector<std::pair<std::uint64_t, std::uint32_t>>& freq_sym) {
+  const std::size_t n = freq_sym.size();
+  std::vector<std::uint8_t> lengths(n, 0);
+  if (n == 1) {
+    lengths[0] = 1;  // a lone symbol still needs one bit to terminate decode
+    return lengths;
+  }
+  std::sort(freq_sym.begin(), freq_sym.end());
+
+  // Internal tree built over indices: leaves are [0, n), internals appended.
+  struct Node {
+    std::uint64_t freq;
+    int left, right;  // children indices; -1 marks a leaf
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(2 * n);
+  for (const auto& [f, s] : freq_sym) nodes.push_back({f, -1, -1});
+
+  std::size_t leaf_next = 0;
+  std::vector<int> merged;  // queue of internal node ids (freqs ascending)
+  merged.reserve(n);
+  std::size_t merged_next = 0;
+
+  auto pop_min = [&]() -> int {
+    const bool leaf_ok = leaf_next < n;
+    const bool int_ok = merged_next < merged.size();
+    if (leaf_ok &&
+        (!int_ok || nodes[leaf_next].freq <= nodes[merged[merged_next]].freq))
+      return static_cast<int>(leaf_next++);
+    return merged[merged_next++];
+  };
+
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const int a = pop_min();
+    const int b = pop_min();
+    nodes.push_back({nodes[a].freq + nodes[b].freq, a, b});
+    merged.push_back(static_cast<int>(nodes.size()) - 1);
+  }
+
+  // Depth-first assignment of depths to leaves.
+  std::vector<std::pair<int, std::uint8_t>> stack{
+      {static_cast<int>(nodes.size()) - 1, 0}};
+  while (!stack.empty()) {
+    auto [id, depth] = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes[static_cast<std::size_t>(id)];
+    if (nd.left < 0) {
+      lengths[static_cast<std::size_t>(id)] = depth == 0 ? 1 : depth;
+    } else {
+      stack.push_back({nd.left, static_cast<std::uint8_t>(depth + 1)});
+      stack.push_back({nd.right, static_cast<std::uint8_t>(depth + 1)});
+    }
+  }
+  return lengths;
+}
+
+struct CanonicalCodes {
+  // Parallel to table.symbols.
+  std::vector<std::uint64_t> codes;
+  std::array<std::uint64_t, HuffmanTable::kMaxLen + 2> first_code{};
+  std::array<std::uint32_t, HuffmanTable::kMaxLen + 2> offset{};
+  std::array<std::uint32_t, HuffmanTable::kMaxLen + 2> count{};
+  std::vector<std::uint32_t> by_length;  // symbol ids sorted by (len, sym)
+};
+
+/// Assigns canonical codes: shorter codes first, ties broken by symbol
+/// value. Standard DEFLATE-style construction.
+CanonicalCodes canonicalize(const HuffmanTable& table) {
+  CanonicalCodes cc;
+  const std::size_t n = table.symbols.size();
+  cc.codes.resize(n);
+  cc.by_length.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    cc.by_length[i] = static_cast<std::uint32_t>(i);
+  std::sort(cc.by_length.begin(), cc.by_length.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (table.lengths[a] != table.lengths[b])
+                return table.lengths[a] < table.lengths[b];
+              return table.symbols[a] < table.symbols[b];
+            });
+  for (std::size_t i = 0; i < n; ++i) ++cc.count[table.lengths[i]];
+
+  std::uint64_t code = 0;
+  std::uint32_t off = 0;
+  for (unsigned len = 1; len <= HuffmanTable::kMaxLen; ++len) {
+    code <<= 1;
+    cc.first_code[len] = code;
+    cc.offset[len] = off;
+    code += cc.count[len];
+    off += cc.count[len];
+  }
+  std::uint32_t assigned = 0;
+  for (unsigned len = 1; len <= HuffmanTable::kMaxLen; ++len) {
+    std::uint64_t c = cc.first_code[len];
+    for (std::uint32_t k = 0; k < cc.count[len]; ++k) {
+      cc.codes[cc.by_length[assigned]] = c++;
+      ++assigned;
+    }
+  }
+  return cc;
+}
+
+}  // namespace
+
+HuffmanTable huffman_build(std::span<const std::uint32_t> symbols) {
+  std::unordered_map<std::uint32_t, std::uint64_t> freq;
+  for (const std::uint32_t s : symbols) ++freq[s];
+
+  HuffmanTable table;
+  if (freq.empty()) return table;
+
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> freq_sym;
+  freq_sym.reserve(freq.size());
+  for (const auto& [sym, f] : freq) freq_sym.emplace_back(f, sym);
+
+  // Length-limit by halving frequencies until the deepest code fits the
+  // writer; depth > 57 needs pathological Fibonacci-like counts, so this
+  // loop effectively never runs more than once.
+  std::vector<std::uint8_t> lengths;
+  for (;;) {
+    auto fs = freq_sym;
+    lengths = code_lengths(fs);
+    const std::uint8_t maxlen =
+        *std::max_element(lengths.begin(), lengths.end());
+    if (maxlen <= HuffmanTable::kMaxLen) {
+      freq_sym = std::move(fs);
+      break;
+    }
+    for (auto& [f, s] : freq_sym) f = (f + 1) / 2;
+  }
+
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> sym_len(freq_sym.size());
+  for (std::size_t i = 0; i < freq_sym.size(); ++i)
+    sym_len[i] = {freq_sym[i].second, lengths[i]};
+  std::sort(sym_len.begin(), sym_len.end());
+
+  table.symbols.reserve(sym_len.size());
+  table.lengths.reserve(sym_len.size());
+  for (const auto& [sym, len] : sym_len) {
+    table.symbols.push_back(sym);
+    table.lengths.push_back(len);
+  }
+  return table;
+}
+
+std::vector<std::uint8_t> huffman_encode(
+    const HuffmanTable& table, std::span<const std::uint32_t> symbols) {
+  if (symbols.empty()) return {};
+  const CanonicalCodes cc = canonicalize(table);
+  std::unordered_map<std::uint32_t, std::pair<std::uint64_t, std::uint8_t>>
+      enc;
+  enc.reserve(table.symbols.size());
+  for (std::size_t i = 0; i < table.symbols.size(); ++i)
+    enc[table.symbols[i]] = {cc.codes[i], table.lengths[i]};
+
+  BitWriter bw;
+  for (const std::uint32_t s : symbols) {
+    const auto it = enc.find(s);
+    if (it == enc.end())
+      throw std::invalid_argument("huffman_encode: symbol not in table");
+    bw.write(it->second.first, it->second.second);
+  }
+  return bw.finish();
+}
+
+std::vector<std::uint32_t> huffman_decode(const HuffmanTable& table,
+                                          std::span<const std::uint8_t> payload,
+                                          std::size_t count) {
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  if (count == 0) return out;
+  if (table.empty())
+    throw std::invalid_argument("huffman_decode: empty table");
+
+  const CanonicalCodes cc = canonicalize(table);
+  BitReader br(payload);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t code = 0;
+    unsigned len = 0;
+    for (;;) {
+      code = code << 1 | (br.read_bit() ? 1u : 0u);
+      ++len;
+      if (len > HuffmanTable::kMaxLen)
+        throw std::runtime_error("huffman_decode: corrupt stream");
+      const std::uint64_t rel = code - cc.first_code[len];
+      if (cc.count[len] != 0 && code >= cc.first_code[len] &&
+          rel < cc.count[len]) {
+        const std::uint32_t id = cc.by_length[cc.offset[len] + rel];
+        out.push_back(table.symbols[id]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> huffman_table_serialize(const HuffmanTable& table) {
+  ByteWriter w;
+  w.put_varint(table.symbols.size());
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < table.symbols.size(); ++i) {
+    w.put_varint(table.symbols[i] - prev);  // ascending -> small deltas
+    prev = table.symbols[i];
+    w.put<std::uint8_t>(table.lengths[i]);
+  }
+  return w.take();
+}
+
+HuffmanTable huffman_table_deserialize(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const std::uint64_t n = r.get_varint();
+  HuffmanTable table;
+  table.symbols.reserve(n);
+  table.lengths.reserve(n);
+  std::uint32_t prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    prev += static_cast<std::uint32_t>(r.get_varint());
+    const auto len = r.get<std::uint8_t>();
+    if (len == 0 || len > HuffmanTable::kMaxLen)
+      throw std::runtime_error("huffman table: invalid code length");
+    table.symbols.push_back(prev);
+    table.lengths.push_back(len);
+  }
+  return table;
+}
+
+std::vector<std::uint8_t> huffman_compress(
+    std::span<const std::uint32_t> symbols) {
+  const HuffmanTable table = huffman_build(symbols);
+  ByteWriter w;
+  w.put_varint(symbols.size());
+  const auto tbl = huffman_table_serialize(table);
+  w.put_blob(tbl);
+  const auto payload = huffman_encode(table, symbols);
+  w.put_blob(payload);
+  return w.take();
+}
+
+std::vector<std::uint32_t> huffman_decompress(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const std::uint64_t count = r.get_varint();
+  const auto tbl_bytes = r.get_blob();
+  const HuffmanTable table = huffman_table_deserialize(tbl_bytes);
+  const auto payload = r.get_blob();
+  return huffman_decode(table, payload, static_cast<std::size_t>(count));
+}
+
+}  // namespace tac::lossless

@@ -1,0 +1,59 @@
+#ifndef TAC_LOSSLESS_HUFFMAN_HPP
+#define TAC_LOSSLESS_HUFFMAN_HPP
+
+/// \file huffman.hpp
+/// \brief Canonical Huffman coding over u32 symbols.
+///
+/// This is the entropy stage of the SZ-style compressor (quantization codes
+/// use a 2^16 alphabet) and is reusable for byte streams. The table is
+/// serialized sparsely — (symbol delta, code length) pairs — so tiny blocks
+/// do not pay a dense-table header.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tac::lossless {
+
+/// Code lengths per distinct symbol; the canonical code assignment is
+/// implied by (length, symbol) ordering.
+struct HuffmanTable {
+  std::vector<std::uint32_t> symbols;  ///< distinct symbols, ascending
+  std::vector<std::uint8_t> lengths;   ///< code length per symbol, 1..kMaxLen
+
+  static constexpr unsigned kMaxLen = 57;
+
+  [[nodiscard]] bool empty() const { return symbols.empty(); }
+};
+
+/// Builds a length-limited Huffman table from symbol frequencies.
+/// `alphabet_hint` only reserves memory. Symbols with zero frequency are
+/// not included in the table.
+[[nodiscard]] HuffmanTable huffman_build(
+    std::span<const std::uint32_t> symbols);
+
+/// Encodes `symbols` with the given table. Every symbol must appear in the
+/// table (throws otherwise). Returns the bit-packed payload.
+[[nodiscard]] std::vector<std::uint8_t> huffman_encode(
+    const HuffmanTable& table, std::span<const std::uint32_t> symbols);
+
+/// Decodes exactly `count` symbols from `payload`.
+[[nodiscard]] std::vector<std::uint32_t> huffman_decode(
+    const HuffmanTable& table, std::span<const std::uint8_t> payload,
+    std::size_t count);
+
+/// Sparse serialization of the table (varint symbol deltas + lengths).
+[[nodiscard]] std::vector<std::uint8_t> huffman_table_serialize(
+    const HuffmanTable& table);
+[[nodiscard]] HuffmanTable huffman_table_deserialize(
+    std::span<const std::uint8_t> bytes);
+
+/// One-call helper: serialized table + payload, length-prefixed.
+[[nodiscard]] std::vector<std::uint8_t> huffman_compress(
+    std::span<const std::uint32_t> symbols);
+[[nodiscard]] std::vector<std::uint32_t> huffman_decompress(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace tac::lossless
+
+#endif  // TAC_LOSSLESS_HUFFMAN_HPP

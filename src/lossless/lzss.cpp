@@ -1,0 +1,121 @@
+#include "lossless/lzss.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/bitio.hpp"
+#include "common/bytes.hpp"
+
+namespace tac::lossless {
+namespace {
+
+constexpr std::size_t kWindow = 1u << 16;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = kMinMatch + 255;  // length-4 fits a byte
+constexpr std::size_t kHashBits = 16;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lzss_compress(std::span<const std::uint8_t> input,
+                                        const LzssConfig& cfg) {
+  ByteWriter header;
+  header.put_varint(input.size());
+
+  BitWriter bw;
+  const std::size_t n = input.size();
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(n, -1);
+
+  std::size_t pos = 0;
+  while (pos < n) {
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    if (pos + kMinMatch <= n) {
+      const std::uint32_t h = hash4(input.data() + pos);
+      std::int64_t cand = head[h];
+      unsigned walked = 0;
+      const std::size_t limit = std::min(kMaxMatch, n - pos);
+      while (cand >= 0 && walked < cfg.max_chain &&
+             pos - static_cast<std::size_t>(cand) <= kWindow) {
+        const auto c = static_cast<std::size_t>(cand);
+        std::size_t len = 0;
+        while (len < limit && input[c + len] == input[pos + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_off = pos - c;
+          if (len == limit) break;
+        }
+        cand = prev[c];
+        ++walked;
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      bw.write_bit(true);
+      bw.write(best_off - 1, 16);
+      bw.write(best_len - kMinMatch, 8);
+      // Insert all covered positions into the chains so future matches can
+      // start inside this match (vital for run-like data).
+      const std::size_t end = pos + best_len;
+      while (pos < end) {
+        if (pos + kMinMatch <= n) {
+          const std::uint32_t h = hash4(input.data() + pos);
+          prev[pos] = head[h];
+          head[h] = static_cast<std::int64_t>(pos);
+        }
+        ++pos;
+      }
+    } else {
+      bw.write_bit(false);
+      bw.write(input[pos], 8);
+      if (pos + kMinMatch <= n) {
+        const std::uint32_t h = hash4(input.data() + pos);
+        prev[pos] = head[h];
+        head[h] = static_cast<std::int64_t>(pos);
+      }
+      ++pos;
+    }
+  }
+
+  auto out = header.take();
+  const auto payload = bw.finish();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> lzss_decompress(
+    std::span<const std::uint8_t> compressed) {
+  ByteReader r(compressed);
+  const std::uint64_t n = r.get_varint();
+  const auto payload = r.get_bytes(r.remaining());
+
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  BitReader br(payload);
+  while (out.size() < n) {
+    if (br.read_bit()) {
+      const std::size_t off = static_cast<std::size_t>(br.read(16)) + 1;
+      const std::size_t len =
+          static_cast<std::size_t>(br.read(8)) + kMinMatch;
+      if (off > out.size())
+        throw std::runtime_error("lzss: match offset before stream start");
+      // Byte-by-byte copy: matches may overlap themselves (off < len).
+      std::size_t src = out.size() - off;
+      for (std::size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+    } else {
+      out.push_back(static_cast<std::uint8_t>(br.read(8)));
+    }
+  }
+  if (out.size() != n) throw std::runtime_error("lzss: size mismatch");
+  return out;
+}
+
+}  // namespace tac::lossless

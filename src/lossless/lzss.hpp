@@ -1,0 +1,31 @@
+#ifndef TAC_LOSSLESS_LZSS_HPP
+#define TAC_LOSSLESS_LZSS_HPP
+
+/// \file lzss.hpp
+/// \brief LZSS byte compressor: 64 KiB sliding window, hash-chain matching.
+///
+/// Plays the role Zstandard plays in SZ's pipeline — a fast generic
+/// dictionary stage after entropy coding. Huffman output over smooth data
+/// degenerates to long constant-byte runs which this stage folds up.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tac::lossless {
+
+struct LzssConfig {
+  unsigned max_chain = 64;  ///< cap on hash-chain walks per position
+};
+
+/// Compresses `input`. Output always decodes back exactly; incompressible
+/// input grows by ~1/8 (flag bits) plus a small header.
+[[nodiscard]] std::vector<std::uint8_t> lzss_compress(
+    std::span<const std::uint8_t> input, const LzssConfig& cfg = {});
+
+[[nodiscard]] std::vector<std::uint8_t> lzss_decompress(
+    std::span<const std::uint8_t> compressed);
+
+}  // namespace tac::lossless
+
+#endif  // TAC_LOSSLESS_LZSS_HPP

@@ -1,0 +1,266 @@
+#include "simnyx/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+#include "simnyx/grf.hpp"
+
+namespace tac::simnyx {
+namespace {
+
+/// Box-averages `fine` by an integer factor per axis.
+Array3D<double> downsample_avg(const Array3D<double>& fine, std::size_t s) {
+  const Dims3 fd = fine.dims();
+  const Dims3 cd{fd.nx / s, fd.ny / s, fd.nz / s};
+  Array3D<double> out(cd);
+  const double inv = 1.0 / static_cast<double>(s * s * s);
+  parallel_for(0, cd.nz, [&](std::size_t z) {
+    for (std::size_t y = 0; y < cd.ny; ++y)
+      for (std::size_t x = 0; x < cd.nx; ++x) {
+        double sum = 0;
+        for (std::size_t dz = 0; dz < s; ++dz)
+          for (std::size_t dy = 0; dy < s; ++dy)
+            for (std::size_t dx = 0; dx < s; ++dx)
+              sum += fine(x * s + dx, y * s + dy, z * s + dz);
+        out(x, y, z) = sum * inv;
+      }
+  }, /*grain=*/1);
+  return out;
+}
+
+/// Per-region refinement level chosen by ranking regions on their peak
+/// field value: the top `density[0]` fraction of the domain refines to the
+/// finest level, and so on. Returns the region->level map.
+Array3D<std::uint8_t> assign_levels(const Array3D<double>& field,
+                                    std::size_t region_size,
+                                    std::span<const double> densities) {
+  const Dims3 fd = field.dims();
+  const Dims3 rd{fd.nx / region_size, fd.ny / region_size,
+                 fd.nz / region_size};
+  const std::size_t nregions = rd.volume();
+  const std::size_t nlevels = densities.size();
+
+  std::vector<double> score(nregions, 0.0);
+  parallel_for(0, rd.nz, [&](std::size_t rz) {
+    for (std::size_t ry = 0; ry < rd.ny; ++ry)
+      for (std::size_t rx = 0; rx < rd.nx; ++rx) {
+        double mx = -std::numeric_limits<double>::infinity();
+        for (std::size_t dz = 0; dz < region_size; ++dz)
+          for (std::size_t dy = 0; dy < region_size; ++dy)
+            for (std::size_t dx = 0; dx < region_size; ++dx)
+              mx = std::max(mx, field(rx * region_size + dx,
+                                      ry * region_size + dy,
+                                      rz * region_size + dz));
+        score[rd.index(rx, ry, rz)] = mx;
+      }
+  }, /*grain=*/1);
+
+  std::vector<std::size_t> order(nregions);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return score[a] > score[b];
+  });
+
+  // Region counts per level; finer levels (all but the coarsest) get at
+  // least one region so scaled-down ultra-sparse presets stay non-empty.
+  std::vector<std::size_t> counts(nlevels, 0);
+  std::size_t assigned = 0;
+  for (std::size_t l = 0; l + 1 < nlevels; ++l) {
+    const auto want = static_cast<std::size_t>(
+        std::llround(densities[l] * static_cast<double>(nregions)));
+    counts[l] = std::max<std::size_t>(1, want);
+    assigned += counts[l];
+  }
+  if (assigned >= nregions)
+    throw std::invalid_argument(
+        "assign_levels: densities leave no room for the coarsest level");
+  counts[nlevels - 1] = nregions - assigned;
+
+  Array3D<std::uint8_t> level_of(rd);
+  std::size_t pos = 0;
+  for (std::size_t l = 0; l < nlevels; ++l)
+    for (std::size_t i = 0; i < counts[l]; ++i)
+      level_of[order[pos++]] = static_cast<std::uint8_t>(l);
+  return level_of;
+}
+
+/// Builds one AMR dataset from a finest-resolution field and a region ->
+/// level assignment. Values at coarse levels are box-averages of the
+/// finest field (how AMR codes represent unrefined regions).
+amr::AmrDataset build_dataset(const std::string& name,
+                              const Array3D<double>& finest_field,
+                              const Array3D<std::uint8_t>& level_of,
+                              std::size_t region_size, std::size_t nlevels,
+                              int ratio) {
+  const Dims3 fd = finest_field.dims();
+  const Dims3 rd = level_of.dims();
+  std::vector<amr::AmrLevel> levels;
+  levels.reserve(nlevels);
+
+  std::size_t scale = 1;
+  for (std::size_t l = 0; l < nlevels; ++l) {
+    const Dims3 ld{fd.nx / scale, fd.ny / scale, fd.nz / scale};
+    amr::AmrLevel lv(ld);
+    const Array3D<double> field_l =
+        scale == 1 ? finest_field : downsample_avg(finest_field, scale);
+    const std::size_t rs_l = region_size / scale;  // region side at level l
+    for (std::size_t rz = 0; rz < rd.nz; ++rz)
+      for (std::size_t ry = 0; ry < rd.ny; ++ry)
+        for (std::size_t rx = 0; rx < rd.nx; ++rx) {
+          if (level_of(rx, ry, rz) != l) continue;
+          for (std::size_t dz = 0; dz < rs_l; ++dz)
+            for (std::size_t dy = 0; dy < rs_l; ++dy)
+              for (std::size_t dx = 0; dx < rs_l; ++dx) {
+                const std::size_t x = rx * rs_l + dx;
+                const std::size_t y = ry * rs_l + dy;
+                const std::size_t z = rz * rs_l + dz;
+                lv.mask(x, y, z) = 1;
+                lv.data(x, y, z) = field_l(x, y, z);
+              }
+        }
+    levels.push_back(std::move(lv));
+    scale *= static_cast<std::size_t>(ratio);
+  }
+  return amr::AmrDataset(name, std::move(levels), ratio);
+}
+
+void check_config(const GeneratorConfig& cfg) {
+  const std::size_t nlevels = cfg.level_densities.size();
+  if (nlevels == 0)
+    throw std::invalid_argument("generator: need at least one level");
+  std::size_t min_region = 1;
+  for (std::size_t l = 1; l < nlevels; ++l)
+    min_region *= static_cast<std::size_t>(cfg.refinement_ratio);
+  if (cfg.region_size % min_region != 0)
+    throw std::invalid_argument(
+        "generator: region_size must be a multiple of ratio^(levels-1)");
+  if (cfg.finest_dims.nx % cfg.region_size ||
+      cfg.finest_dims.ny % cfg.region_size ||
+      cfg.finest_dims.nz % cfg.region_size)
+    throw std::invalid_argument(
+        "generator: finest dims must be a multiple of region_size");
+}
+
+/// Log-normal transform with approximately unit mean before scaling.
+Array3D<double> lognormal(const Array3D<double>& g, double sigma,
+                          double scale) {
+  Array3D<double> out(g.dims());
+  const double correction = -0.5 * sigma * sigma;  // E[exp(σg - σ²/2)] = 1
+  for (std::size_t i = 0; i < g.size(); ++i)
+    out[i] = scale * std::exp(sigma * g[i] + correction);
+  return out;
+}
+
+}  // namespace
+
+amr::AmrDataset generate_baryon_density(const GeneratorConfig& cfg) {
+  check_config(cfg);
+  const GrfConfig grf{
+      .spectral_index = cfg.spectral_index,
+      .k_cutoff =
+          static_cast<double>(cfg.finest_dims.nx) * cfg.k_cutoff_fraction,
+      .seed = cfg.seed};
+  const auto g = gaussian_random_field(cfg.finest_dims, grf);
+  const auto rho = lognormal(g, cfg.lognormal_sigma, cfg.mean_density);
+  const auto level_of =
+      assign_levels(rho, cfg.region_size, cfg.level_densities);
+  return build_dataset("baryon_density", rho, level_of, cfg.region_size,
+                       cfg.level_densities.size(), cfg.refinement_ratio);
+}
+
+NyxFieldSet generate_fields(const GeneratorConfig& cfg) {
+  check_config(cfg);
+  const double kc =
+      static_cast<double>(cfg.finest_dims.nx) * cfg.k_cutoff_fraction;
+  const auto g = gaussian_random_field(
+      cfg.finest_dims,
+      {.spectral_index = cfg.spectral_index, .k_cutoff = kc, .seed = cfg.seed});
+  const auto g2 = gaussian_random_field(
+      cfg.finest_dims, {.spectral_index = cfg.spectral_index,
+                        .k_cutoff = kc,
+                        .seed = cfg.seed + 1});
+  const auto gv = [&](std::uint64_t off) {
+    return gaussian_random_field(cfg.finest_dims,
+                                 {.spectral_index = cfg.spectral_index - 0.5,
+                                  .k_cutoff = kc,
+                                  .seed = cfg.seed + off});
+  };
+
+  const auto rho = lognormal(g, cfg.lognormal_sigma, cfg.mean_density);
+  // Refinement structure is decided once, on baryon density, and shared by
+  // all fields — AMR codes refine the whole grid hierarchy, not per field.
+  const auto level_of =
+      assign_levels(rho, cfg.region_size, cfg.level_densities);
+  const std::size_t nlevels = cfg.level_densities.size();
+
+  // Dark matter traces baryons with extra small-scale power.
+  Array3D<double> dm(cfg.finest_dims);
+  for (std::size_t i = 0; i < dm.size(); ++i) {
+    const double mixed = 0.85 * g[i] + 0.53 * g2[i];
+    dm[i] = cfg.mean_density * 5.0 *
+            std::exp(1.1 * cfg.lognormal_sigma * mixed -
+                     0.5 * 1.21 * cfg.lognormal_sigma * cfg.lognormal_sigma);
+  }
+  // Temperature–density relation T ∝ ρ^0.6 with scatter.
+  Array3D<double> temp(cfg.finest_dims);
+  for (std::size_t i = 0; i < temp.size(); ++i)
+    temp[i] = 1e4 * std::pow(rho[i] / cfg.mean_density, 0.6) *
+              std::exp(0.3 * g2[i]);
+  // Peculiar velocities: Gaussian, ~1e7 cm/s scale, signed.
+  const auto vxg = gv(11), vyg = gv(12), vzg = gv(13);
+  Array3D<double> vx(cfg.finest_dims), vy(cfg.finest_dims),
+      vz(cfg.finest_dims);
+  for (std::size_t i = 0; i < vx.size(); ++i) {
+    vx[i] = 1e7 * vxg[i];
+    vy[i] = 1e7 * vyg[i];
+    vz[i] = 1e7 * vzg[i];
+  }
+
+  auto make = [&](const std::string& name, const Array3D<double>& f) {
+    return build_dataset(name, f, level_of, cfg.region_size, nlevels,
+                         cfg.refinement_ratio);
+  };
+  return NyxFieldSet{.baryon_density = make("baryon_density", rho),
+                     .dark_matter_density = make("dark_matter_density", dm),
+                     .temperature = make("temperature", temp),
+                     .velocity_x = make("velocity_x", vx),
+                     .velocity_y = make("velocity_y", vy),
+                     .velocity_z = make("velocity_z", vz)};
+}
+
+std::vector<DatasetPreset> table1_presets(unsigned scale_shift) {
+  const auto dim = [scale_shift](std::size_t base) {
+    const std::size_t d = base >> scale_shift;
+    return Dims3{d, d, d};
+  };
+  return {
+      {"Run1_Z10", dim(512), {0.23, 0.77}},
+      {"Run1_Z5", dim(512), {0.58, 0.42}},
+      {"Run1_Z3", dim(512), {0.64, 0.36}},
+      {"Run1_Z2", dim(512), {0.63, 0.37}},
+      {"Run2_T2", dim(256), {0.002, 0.998}},
+      {"Run2_T3", dim(512), {0.0002, 0.0056, 0.9942}},
+      {"Run2_T4", dim(1024), {3e-5, 0.0002, 0.022, 0.9777}},
+  };
+}
+
+amr::AmrDataset generate_preset(const DatasetPreset& preset,
+                                std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.finest_dims = preset.finest_dims;
+  cfg.level_densities = preset.level_densities;
+  cfg.seed = seed;
+  std::size_t min_region = 1;
+  for (std::size_t l = 1; l < preset.level_densities.size(); ++l)
+    min_region *= 2;
+  cfg.region_size = std::max<std::size_t>(8, min_region);
+  return generate_baryon_density(cfg);
+}
+
+}  // namespace tac::simnyx

@@ -1,0 +1,85 @@
+#ifndef TAC_SIMNYX_GENERATOR_HPP
+#define TAC_SIMNYX_GENERATOR_HPP
+
+/// \file generator.hpp
+/// \brief Synthetic Nyx-like AMR dataset generation.
+///
+/// Builds tree-structured AMR datasets whose per-level densities match
+/// targets (Table 1 of the paper). Refinement is assigned at aligned
+/// block-region granularity by ranking regions on the density field — the
+/// same "refine where the value is large" criterion AMR codes use — so the
+/// highest-density regions land on the finest level, exactly the structure
+/// the paper's z5..z2 evolution shows.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "amr/dataset.hpp"
+#include "common/dims.hpp"
+
+namespace tac::simnyx {
+
+struct GeneratorConfig {
+  Dims3 finest_dims{128, 128, 128};
+  /// Target fraction of the domain volume stored at each level, finest
+  /// first. Must have >= 1 entry; the coarsest level absorbs rounding.
+  std::vector<double> level_densities{0.23, 0.77};
+  /// Refinement-region side length in finest cells; must be a multiple of
+  /// ratio^(levels-1) so regions are whole cells on every level.
+  std::size_t region_size = 16;
+  int refinement_ratio = 2;
+  std::uint64_t seed = 0x5EEDULL;
+
+  // Field shaping (baryon density: log-normal with large dynamic range,
+  // mean chosen so the paper's absolute error bounds 1e8..1e10 are
+  // meaningful fractions of the value range).
+  double spectral_index = -2.5;
+  double lognormal_sigma = 2.0;
+  double mean_density = 1e9;
+  /// Gaussian spectral cutoff as a fraction of the grid extent; smaller =
+  /// smoother fields. 1/16 leaves ~16-cell features, matching the
+  /// large-scale coherence (and hence compressibility) of real Nyx
+  /// snapshots much better than white-ish small-scale noise.
+  double k_cutoff_fraction = 1.0 / 16.0;
+};
+
+/// The Nyx field set the paper lists (§4.1).
+struct NyxFieldSet {
+  amr::AmrDataset baryon_density;
+  amr::AmrDataset dark_matter_density;
+  amr::AmrDataset temperature;
+  amr::AmrDataset velocity_x;
+  amr::AmrDataset velocity_y;
+  amr::AmrDataset velocity_z;
+};
+
+/// Generates the baryon density dataset (the field every experiment in the
+/// paper's evaluation uses).
+[[nodiscard]] amr::AmrDataset generate_baryon_density(
+    const GeneratorConfig& cfg);
+
+/// Generates all six Nyx fields on a shared refinement structure.
+[[nodiscard]] NyxFieldSet generate_fields(const GeneratorConfig& cfg);
+
+/// A named dataset preset mirroring one row of the paper's Table 1.
+struct DatasetPreset {
+  std::string name;
+  Dims3 finest_dims;
+  std::vector<double> level_densities;  ///< finest first
+};
+
+/// The seven Table-1 datasets, scaled down by `scale_shift` powers of two
+/// per axis (default 512^3 -> 128^3) to keep experiment runtimes short.
+/// Densities are preserved exactly.
+[[nodiscard]] std::vector<DatasetPreset> table1_presets(
+    unsigned scale_shift = 2);
+
+/// Generates a preset's baryon density field.
+[[nodiscard]] amr::AmrDataset generate_preset(const DatasetPreset& preset,
+                                              std::uint64_t seed = 0x5EEDULL);
+
+}  // namespace tac::simnyx
+
+#endif  // TAC_SIMNYX_GENERATOR_HPP

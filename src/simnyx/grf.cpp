@@ -1,0 +1,58 @@
+#include "simnyx/grf.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "fft/fft.hpp"
+
+namespace tac::simnyx {
+
+Array3D<double> gaussian_random_field(Dims3 dims, const GrfConfig& cfg) {
+  // Real white noise -> forward FFT -> spectral shaping -> inverse FFT.
+  // Starting from real noise keeps the spectrum Hermitian, so the inverse
+  // transform is real up to rounding.
+  std::mt19937_64 rng(cfg.seed);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  Array3D<fft::Complex> spec(dims);
+  for (std::size_t i = 0; i < spec.size(); ++i)
+    spec[i] = fft::Complex(normal(rng), 0.0);
+  fft::fft_3d(spec, /*inverse=*/false);
+
+  const auto half_k = [](std::size_t i, std::size_t n) {
+    const auto k = static_cast<double>(i);
+    return i <= n / 2 ? k : k - static_cast<double>(n);
+  };
+  for (std::size_t z = 0; z < dims.nz; ++z)
+    for (std::size_t y = 0; y < dims.ny; ++y)
+      for (std::size_t x = 0; x < dims.nx; ++x) {
+        const double kx = half_k(x, dims.nx);
+        const double ky = half_k(y, dims.ny);
+        const double kz = half_k(z, dims.nz);
+        const double k2 = kx * kx + ky * ky + kz * kz;
+        double amp = 0.0;
+        if (k2 > 0) {
+          amp = std::pow(std::sqrt(k2), cfg.spectral_index / 2.0);
+          if (cfg.k_cutoff > 0)
+            amp *= std::exp(-k2 / (cfg.k_cutoff * cfg.k_cutoff));
+        }
+        spec(x, y, z) *= amp;  // zero mean: amp(k=0) = 0
+      }
+  fft::fft_3d(spec, /*inverse=*/true);
+
+  Array3D<double> field(dims);
+  double sum = 0, sum2 = 0;
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    field[i] = spec[i].real();
+    sum += field[i];
+    sum2 += field[i] * field[i];
+  }
+  const double n = static_cast<double>(field.size());
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  const double inv_sd = var > 0 ? 1.0 / std::sqrt(var) : 1.0;
+  for (std::size_t i = 0; i < field.size(); ++i)
+    field[i] = (field[i] - mean) * inv_sd;
+  return field;
+}
+
+}  // namespace tac::simnyx

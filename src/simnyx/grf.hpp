@@ -1,0 +1,37 @@
+#ifndef TAC_SIMNYX_GRF_HPP
+#define TAC_SIMNYX_GRF_HPP
+
+/// \file grf.hpp
+/// \brief Gaussian random fields with power-law spectra.
+///
+/// The substitution substrate for Nyx snapshot fields: cosmological density
+/// fields are, to first order, log-normal transforms of Gaussian random
+/// fields whose power spectrum falls off with wavenumber. We shape white
+/// noise in Fourier space — P(k) ∝ k^n · exp(-(k/k_cut)^2) — which gives
+/// smooth, large-scale-correlated fields with the spatial coherence that
+/// prediction-based compressors exploit in real simulation data.
+
+#include <cstdint>
+
+#include "common/array3d.hpp"
+#include "common/dims.hpp"
+
+namespace tac::simnyx {
+
+struct GrfConfig {
+  /// Spectral index n in P(k) ∝ k^n; more negative = smoother field.
+  double spectral_index = -2.5;
+  /// Gaussian cutoff (in integer wavenumber units) suppressing grid-scale
+  /// noise; 0 disables the cutoff.
+  double k_cutoff = 0.0;
+  std::uint64_t seed = 0x5EEDULL;
+};
+
+/// Generates a zero-mean, unit-variance Gaussian random field on a
+/// power-of-two grid. Deterministic in (config, dims).
+[[nodiscard]] Array3D<double> gaussian_random_field(Dims3 dims,
+                                                    const GrfConfig& cfg);
+
+}  // namespace tac::simnyx
+
+#endif  // TAC_SIMNYX_GRF_HPP

@@ -1,0 +1,54 @@
+#ifndef TAC_SZ_PREDICTOR_HPP
+#define TAC_SZ_PREDICTOR_HPP
+
+/// \file predictor.hpp
+/// \brief Order-1 Lorenzo predictor with zero extension.
+///
+/// The 3D inclusion-exclusion stencil degrades gracefully at boundaries:
+/// with out-of-range neighbours read as zero, a face plane reduces to the
+/// 2D Lorenzo stencil and an edge line to the 1D one. This is exactly the
+/// behaviour TAC's pre-process strategies exploit/avoid: boundary points
+/// see fewer real neighbours and predict worse, and padded zeros poison
+/// interior predictions.
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/dims.hpp"
+
+namespace tac::sz {
+
+/// Reads a reconstructed neighbour for prediction; non-finite values are
+/// treated as zero so one stored NaN cannot poison subsequent predictions.
+template <class T>
+struct ReconView {
+  const T* data;
+  Dims3 dims;
+
+  [[nodiscard]] double at(std::size_t x, std::size_t y, std::size_t z) const {
+    const double v = static_cast<double>(data[dims.index(x, y, z)]);
+    return std::isfinite(v) ? v : 0.0;
+  }
+  /// Neighbour read with zero extension below the block origin. dx/dy/dz
+  /// are 0 or 1 offsets *subtracted* from (x, y, z).
+  [[nodiscard]] double rel(std::size_t x, std::size_t y, std::size_t z,
+                           unsigned dx, unsigned dy, unsigned dz) const {
+    if ((dx > x) || (dy > y) || (dz > z)) return 0.0;
+    return at(x - dx, y - dy, z - dz);
+  }
+};
+
+/// 3D Lorenzo prediction of the value at (x, y, z) from the seven
+/// previously-visited corner neighbours.
+template <class T>
+[[nodiscard]] double lorenzo_predict(const ReconView<T>& r, std::size_t x,
+                                     std::size_t y, std::size_t z) {
+  return r.rel(x, y, z, 1, 0, 0) + r.rel(x, y, z, 0, 1, 0) +
+         r.rel(x, y, z, 0, 0, 1) - r.rel(x, y, z, 1, 1, 0) -
+         r.rel(x, y, z, 1, 0, 1) - r.rel(x, y, z, 0, 1, 1) +
+         r.rel(x, y, z, 1, 1, 1);
+}
+
+}  // namespace tac::sz
+
+#endif  // TAC_SZ_PREDICTOR_HPP

@@ -1,0 +1,84 @@
+#ifndef TAC_SZ_REGRESSION_HPP
+#define TAC_SZ_REGRESSION_HPP
+
+/// \file regression.hpp
+/// \brief Least-squares plane predictor for the SZ2-style hybrid mode.
+///
+/// Each prediction tile fits v ~ b0 + bx*ux + by*uy + bz*uz with centered
+/// local coordinates (the design is orthogonal on a full grid tile, so
+/// the coefficients decouple into independent 1D projections). Regression
+/// predictions depend only on the stored coefficients — not on
+/// neighbouring reconstructed values — which is exactly why SZ2 wins on
+/// data where the Lorenzo neighbourhood is unreliable (block boundaries,
+/// padded zeros).
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/dims.hpp"
+
+namespace tac::sz {
+
+/// Plane coefficients, stored as float in the stream (8x smaller than the
+/// tile payload they replace; matches SZ2's lossy coefficient storage).
+struct PlaneFit {
+  float b0 = 0, bx = 0, by = 0, bz = 0;
+};
+
+/// Fits the plane over tile cells [0, ex) x [0, ey) x [0, ez) of `tile`
+/// (a view into block data with the given strides). Non-finite values
+/// contribute zero so a stray NaN cannot poison the whole tile.
+template <class T>
+[[nodiscard]] PlaneFit fit_plane(const T* data, Dims3 block_dims, Box3 tile) {
+  const double ex = static_cast<double>(tile.x1 - tile.x0);
+  const double ey = static_cast<double>(tile.y1 - tile.y0);
+  const double ez = static_cast<double>(tile.z1 - tile.z0);
+  const double cx = (ex - 1) / 2.0, cy = (ey - 1) / 2.0, cz = (ez - 1) / 2.0;
+
+  double sum = 0, sx = 0, sy = 0, sz2 = 0;
+  double nxx = 0, nyy = 0, nzz = 0;
+  std::size_t n = 0;
+  for (std::size_t z = tile.z0; z < tile.z1; ++z)
+    for (std::size_t y = tile.y0; y < tile.y1; ++y)
+      for (std::size_t x = tile.x0; x < tile.x1; ++x) {
+        double v = static_cast<double>(data[block_dims.index(x, y, z)]);
+        if (!std::isfinite(v)) v = 0.0;
+        const double ux = static_cast<double>(x - tile.x0) - cx;
+        const double uy = static_cast<double>(y - tile.y0) - cy;
+        const double uz = static_cast<double>(z - tile.z0) - cz;
+        sum += v;
+        sx += v * ux;
+        sy += v * uy;
+        sz2 += v * uz;
+        nxx += ux * ux;
+        nyy += uy * uy;
+        nzz += uz * uz;
+        ++n;
+      }
+  PlaneFit f;
+  if (n == 0) return f;
+  f.b0 = static_cast<float>(sum / static_cast<double>(n));
+  f.bx = static_cast<float>(nxx > 0 ? sx / nxx : 0.0);
+  f.by = static_cast<float>(nyy > 0 ? sy / nyy : 0.0);
+  f.bz = static_cast<float>(nzz > 0 ? sz2 / nzz : 0.0);
+  return f;
+}
+
+/// Evaluates the plane at local tile coordinates; must be bit-identical
+/// between compressor and decompressor, hence the explicit float-coeff,
+/// double-arithmetic form.
+[[nodiscard]] inline double plane_predict(const PlaneFit& f, Box3 tile,
+                                          std::size_t x, std::size_t y,
+                                          std::size_t z) {
+  const double cx = (static_cast<double>(tile.x1 - tile.x0) - 1) / 2.0;
+  const double cy = (static_cast<double>(tile.y1 - tile.y0) - 1) / 2.0;
+  const double cz = (static_cast<double>(tile.z1 - tile.z0) - 1) / 2.0;
+  return static_cast<double>(f.b0) +
+         static_cast<double>(f.bx) * (static_cast<double>(x - tile.x0) - cx) +
+         static_cast<double>(f.by) * (static_cast<double>(y - tile.y0) - cy) +
+         static_cast<double>(f.bz) * (static_cast<double>(z - tile.z0) - cz);
+}
+
+}  // namespace tac::sz
+
+#endif  // TAC_SZ_REGRESSION_HPP

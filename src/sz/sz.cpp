@@ -1,0 +1,547 @@
+#include "sz/sz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+#include "common/parallel.hpp"
+#include "lossless/codec.hpp"
+#include "lossless/huffman.hpp"
+#include "sz/predictor.hpp"
+#include "sz/regression.hpp"
+#include "sz/quantizer.hpp"
+
+namespace tac::sz {
+namespace {
+
+constexpr std::uint16_t kMagic = 0x5A53;  // "SZ"
+constexpr std::uint8_t kVersion = 1;
+
+enum class StreamKind : std::uint8_t {
+  kConstant = 0,
+  kGeneral = 1,
+  kPwRel = 2,  // log-transformed payload for point-wise relative bounds
+};
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  bool all_identical = true;
+};
+
+template <class T>
+Range scan_range(std::span<const T> data) {
+  Range r;
+  if (data.empty()) return r;
+  const T first = data[0];
+  for (const T v : data) {
+    if (std::memcmp(&v, &first, sizeof(T)) != 0) r.all_identical = false;
+    const auto d = static_cast<double>(v);
+    if (std::isfinite(d)) {
+      r.lo = std::min(r.lo, d);
+      r.hi = std::max(r.hi, d);
+    }
+  }
+  return r;
+}
+
+/// Per-block tiling for the SZ2-style hybrid predictor: which tiles use
+/// regression and their plane coefficients. `fit_index[tile]` is -1 for
+/// Lorenzo tiles, else an index into `fits`.
+struct TilePlan {
+  std::size_t pred_block = 6;
+  Dims3 tiles;
+  std::vector<std::int32_t> fit_index;
+  std::vector<PlaneFit> fits;
+
+  [[nodiscard]] Box3 tile_box(Dims3 block_dims, std::size_t tx,
+                              std::size_t ty, std::size_t tz) const {
+    return Box3{tx * pred_block,
+                ty * pred_block,
+                tz * pred_block,
+                std::min(block_dims.nx, (tx + 1) * pred_block),
+                std::min(block_dims.ny, (ty + 1) * pred_block),
+                std::min(block_dims.nz, (tz + 1) * pred_block)};
+  }
+};
+
+Dims3 tile_counts(Dims3 dims, std::size_t pb) {
+  return {ceil_div(dims.nx, pb), ceil_div(dims.ny, pb),
+          ceil_div(dims.nz, pb)};
+}
+
+/// Chooses Lorenzo vs regression per tile by the smaller total absolute
+/// residual estimated on the original values (SZ2's selection, without
+/// sampling). The Lorenzo estimate uses original neighbours — a close
+/// proxy for the reconstruction the decompressor will predict from.
+template <class T>
+TilePlan plan_tiles(const T* block, Dims3 dims, std::size_t pb) {
+  TilePlan plan;
+  plan.pred_block = pb;
+  plan.tiles = tile_counts(dims, pb);
+  plan.fit_index.assign(plan.tiles.volume(), -1);
+  const ReconView<T> view{block, dims};
+  std::size_t t = 0;
+  for (std::size_t tz = 0; tz < plan.tiles.nz; ++tz)
+    for (std::size_t ty = 0; ty < plan.tiles.ny; ++ty)
+      for (std::size_t tx = 0; tx < plan.tiles.nx; ++tx, ++t) {
+        const Box3 box = plan.tile_box(dims, tx, ty, tz);
+        const PlaneFit fit = fit_plane(block, dims, box);
+        double err_reg = 0, err_lor = 0;
+        for (std::size_t z = box.z0; z < box.z1; ++z)
+          for (std::size_t y = box.y0; y < box.y1; ++y)
+            for (std::size_t x = box.x0; x < box.x1; ++x) {
+              double v = static_cast<double>(block[dims.index(x, y, z)]);
+              if (!std::isfinite(v)) v = 0.0;
+              err_reg += std::fabs(v - plane_predict(fit, box, x, y, z));
+              err_lor += std::fabs(v - lorenzo_predict(view, x, y, z));
+            }
+        if (err_reg < err_lor) {
+          plan.fit_index[t] = static_cast<std::int32_t>(plan.fits.size());
+          plan.fits.push_back(fit);
+        }
+      }
+  return plan;
+}
+
+/// Prediction dispatch shared by compressor and decompressor. `recon`
+/// holds already-reconstructed values for Lorenzo reads.
+template <class T>
+double predict_cell(const ReconView<T>& recon, const TilePlan* plan,
+                    Dims3 dims, std::size_t x, std::size_t y,
+                    std::size_t z) {
+  if (plan != nullptr) {
+    const std::size_t pb = plan->pred_block;
+    const std::size_t t =
+        plan->tiles.index(x / pb, y / pb, z / pb);
+    const std::int32_t fi = plan->fit_index[t];
+    if (fi >= 0) {
+      const Box3 box =
+          plan->tile_box(dims, x / pb, y / pb, z / pb);
+      return plane_predict(plan->fits[static_cast<std::size_t>(fi)], box, x,
+                           y, z);
+    }
+  }
+  return lorenzo_predict(recon, x, y, z);
+}
+
+/// Quantizes one block in place: fills `codes` (volume entries) and appends
+/// exact values for outliers. `recon` holds the values the decompressor
+/// will see; predictions read from it.
+template <class T>
+void quantize_block(const T* block, Dims3 dims, double eb,
+                    std::uint32_t radius, std::uint32_t* codes, T* recon,
+                    std::vector<T>& outliers, const TilePlan* plan) {
+  const ReconView<T> view{recon, dims};
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < dims.nz; ++z)
+    for (std::size_t y = 0; y < dims.ny; ++y)
+      for (std::size_t x = 0; x < dims.nx; ++x, ++i) {
+        const double value = static_cast<double>(block[i]);
+        const double pred = predict_cell(view, plan, dims, x, y, z);
+        bool outlier = true;
+        if (eb > 0) {
+          QuantResult q = quantize(value, pred, eb, radius);
+          if (!q.outlier) {
+            // The decompressor stores T; validate the bound on the rounded
+            // value so float truncation cannot break the contract.
+            const T stored = static_cast<T>(q.reconstructed);
+            if (std::fabs(static_cast<double>(stored) - value) <= eb) {
+              codes[i] = q.code;
+              recon[i] = stored;
+              outlier = false;
+            }
+          }
+        }
+        if (outlier) {
+          codes[i] = 0;
+          recon[i] = block[i];  // exact
+          outliers.push_back(block[i]);
+        }
+      }
+}
+
+template <class T>
+void reconstruct_block(const std::uint32_t* codes, Dims3 dims, double eb,
+                       std::uint32_t radius, const T* outliers,
+                       std::size_t n_outliers, T* out,
+                       const TilePlan* plan) {
+  const ReconView<T> view{out, dims};
+  std::size_t oi = 0;
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < dims.nz; ++z)
+    for (std::size_t y = 0; y < dims.ny; ++y)
+      for (std::size_t x = 0; x < dims.nx; ++x, ++i) {
+        const std::uint32_t code = codes[i];
+        if (code == 0) {
+          if (oi >= n_outliers)
+            throw std::runtime_error("sz: outlier stream underrun");
+          out[i] = outliers[oi++];
+        } else {
+          const double pred = predict_cell(view, plan, dims, x, y, z);
+          out[i] = static_cast<T>(dequantize(code, pred, eb, radius));
+        }
+      }
+  if (oi != n_outliers)
+    throw std::runtime_error("sz: outlier stream not fully consumed");
+}
+
+/// Packs one bit per value (negative sign) into bytes.
+template <class T>
+std::vector<std::uint8_t> pack_sign_bits(std::span<const T> data) {
+  std::vector<std::uint8_t> out((data.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (std::signbit(static_cast<double>(data[i])))
+      out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  return out;
+}
+
+}  // namespace
+
+template <class T>
+std::vector<std::uint8_t> compress(std::span<const T> data, Dims3 dims,
+                                   const SzConfig& cfg, std::size_t nblocks) {
+  const std::size_t vol = dims.volume();
+  if (vol == 0 || nblocks == 0)
+    throw std::invalid_argument("sz::compress: empty dims");
+  if (data.size() != vol * nblocks)
+    throw std::invalid_argument("sz::compress: data size != dims * nblocks");
+  if (cfg.mode == ErrorBoundMode::kAbsolute &&
+      !(cfg.error_bound > 0 && std::isfinite(cfg.error_bound)))
+    throw std::invalid_argument("sz::compress: absolute bound must be > 0");
+  if (cfg.quant_radius < 2 || cfg.quant_radius > (1u << 30))
+    throw std::invalid_argument("sz::compress: quant_radius out of range");
+  if (cfg.predictor == Predictor::kHybrid && cfg.pred_block < 2)
+    throw std::invalid_argument("sz::compress: pred_block must be >= 2");
+
+  if (cfg.mode == ErrorBoundMode::kPointwiseRelative) {
+    if (!(cfg.error_bound > 0) || !std::isfinite(cfg.error_bound))
+      throw std::invalid_argument(
+          "sz::compress: point-wise relative bound must be > 0");
+    // Log transform: bounding |log v' - log v| by log(1 + eb) bounds the
+    // ratio v'/v in [1/(1+eb), 1+eb]. A 1% margin absorbs the float
+    // rounding of the log/exp pair (see config.hpp caveat for float).
+    const double theta = std::log1p(cfg.error_bound * 0.99);
+    std::vector<T> logs(data.size());
+    std::vector<std::pair<std::uint64_t, T>> exceptions;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double v = static_cast<double>(data[i]);
+      const double a = std::fabs(v);
+      if (v == 0.0 || !std::isfinite(v)) {
+        exceptions.emplace_back(i, data[i]);
+        logs[i] = T{0};
+      } else {
+        logs[i] = static_cast<T>(std::log(a));
+      }
+    }
+    SzConfig inner_cfg = cfg;
+    inner_cfg.mode = ErrorBoundMode::kAbsolute;
+    inner_cfg.error_bound = theta;
+    const auto inner =
+        compress<T>(std::span<const T>(logs), dims, inner_cfg, nblocks);
+
+    ByteWriter w;
+    w.put<std::uint16_t>(kMagic);
+    w.put<std::uint8_t>(kVersion);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(sizeof(T)));
+    w.put_varint(dims.nx);
+    w.put_varint(dims.ny);
+    w.put_varint(dims.nz);
+    w.put_varint(nblocks);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(cfg.mode));
+    w.put<double>(cfg.error_bound);
+    w.put<double>(theta);  // abs bound slot carries the log-domain bound
+    w.put<double>(0.0);
+    w.put_varint(cfg.quant_radius);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(cfg.predictor));
+    w.put_varint(cfg.pred_block);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(StreamKind::kPwRel));
+    w.put_blob(inner);
+    w.put_blob(lossless::compress(pack_sign_bits(data)));
+    w.put_varint(exceptions.size());
+    std::uint64_t prev = 0;
+    for (const auto& [idx, val] : exceptions) {
+      w.put_varint(idx - prev);
+      prev = idx;
+      w.put<T>(val);
+    }
+    return w.take();
+  }
+
+  const Range range = scan_range(data);
+  const double span_val =
+      std::isfinite(range.hi - range.lo) && range.hi > range.lo
+          ? range.hi - range.lo
+          : 0.0;
+  double abs_eb = cfg.mode == ErrorBoundMode::kAbsolute
+                      ? cfg.error_bound
+                      : cfg.error_bound * span_val;
+  if (!(abs_eb > 0) || !std::isfinite(abs_eb)) abs_eb = 0;  // lossless path
+
+  ByteWriter w;
+  w.put<std::uint16_t>(kMagic);
+  w.put<std::uint8_t>(kVersion);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(sizeof(T)));
+  w.put_varint(dims.nx);
+  w.put_varint(dims.ny);
+  w.put_varint(dims.nz);
+  w.put_varint(nblocks);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(cfg.mode));
+  w.put<double>(cfg.error_bound);
+  w.put<double>(abs_eb);
+  w.put<double>(span_val);
+  w.put_varint(cfg.quant_radius);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(cfg.predictor));
+  w.put_varint(cfg.pred_block);
+
+  if (range.all_identical) {
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(StreamKind::kConstant));
+    w.put<T>(data[0]);
+    return w.take();
+  }
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(StreamKind::kGeneral));
+
+  const bool hybrid = cfg.predictor == Predictor::kHybrid;
+  std::vector<std::uint32_t> codes(data.size());
+  std::vector<T> recon(data.size());
+  std::vector<std::vector<T>> outliers_per_block(nblocks);
+  std::vector<TilePlan> plans(hybrid ? nblocks : 0);
+  parallel_for(
+      0, nblocks,
+      [&](std::size_t b) {
+        const TilePlan* plan = nullptr;
+        if (hybrid) {
+          plans[b] = plan_tiles(data.data() + b * vol, dims, cfg.pred_block);
+          plan = &plans[b];
+        }
+        quantize_block(data.data() + b * vol, dims, abs_eb, cfg.quant_radius,
+                       codes.data() + b * vol, recon.data() + b * vol,
+                       outliers_per_block[b], plan);
+      },
+      /*grain=*/1);
+
+  std::vector<T> outliers;
+  ByteWriter counts_w;
+  for (const auto& ob : outliers_per_block) {
+    counts_w.put_varint(ob.size());
+    outliers.insert(outliers.end(), ob.begin(), ob.end());
+  }
+
+  const auto huff = lossless::huffman_compress(codes);
+  const auto huff_packed = lossless::compress(huff);
+  w.put_blob(huff_packed);
+
+  std::span<const std::uint8_t> outlier_bytes{
+      reinterpret_cast<const std::uint8_t*>(outliers.data()),
+      outliers.size() * sizeof(T)};
+  const auto outliers_packed = lossless::compress(outlier_bytes);
+  w.put_blob(outliers_packed);
+  w.put_blob(counts_w.buffer());
+
+  if (hybrid) {
+    // Tile mode bits (1 = regression) and plane coefficients, both across
+    // all blocks in order.
+    std::vector<std::uint8_t> mode_bits;
+    std::vector<std::uint8_t> coeff_bytes;
+    std::size_t bit = 0;
+    for (const TilePlan& plan : plans) {
+      for (const std::int32_t fi : plan.fit_index) {
+        if (bit % 8 == 0) mode_bits.push_back(0);
+        if (fi >= 0)
+          mode_bits.back() |= static_cast<std::uint8_t>(1u << (bit % 8));
+        ++bit;
+      }
+      for (const PlaneFit& f : plan.fits) {
+        const float c[4] = {f.b0, f.bx, f.by, f.bz};
+        const auto* pc = reinterpret_cast<const std::uint8_t*>(c);
+        coeff_bytes.insert(coeff_bytes.end(), pc, pc + sizeof(c));
+      }
+    }
+    w.put_blob(lossless::compress(mode_bits));
+    w.put_blob(lossless::compress(coeff_bytes));
+  }
+  return w.take();
+}
+
+namespace {
+
+struct Header {
+  SzStreamInfo info;
+  SzConfig cfg;
+  std::size_t payload_offset = 0;
+  StreamKind kind = StreamKind::kGeneral;
+};
+
+Header read_header(ByteReader& r) {
+  Header h;
+  if (r.get<std::uint16_t>() != kMagic)
+    throw std::runtime_error("sz: bad magic");
+  if (r.get<std::uint8_t>() != kVersion)
+    throw std::runtime_error("sz: unsupported version");
+  h.info.scalar_size = r.get<std::uint8_t>();
+  h.info.block_dims.nx = static_cast<std::size_t>(r.get_varint());
+  h.info.block_dims.ny = static_cast<std::size_t>(r.get_varint());
+  h.info.block_dims.nz = static_cast<std::size_t>(r.get_varint());
+  h.info.nblocks = static_cast<std::size_t>(r.get_varint());
+  h.cfg.mode = static_cast<ErrorBoundMode>(r.get<std::uint8_t>());
+  h.cfg.error_bound = r.get<double>();
+  h.info.abs_error_bound = r.get<double>();
+  h.info.value_range = r.get<double>();
+  h.cfg.quant_radius = static_cast<std::uint32_t>(r.get_varint());
+  h.cfg.predictor = static_cast<Predictor>(r.get<std::uint8_t>());
+  h.cfg.pred_block = static_cast<std::size_t>(r.get_varint());
+  h.kind = static_cast<StreamKind>(r.get<std::uint8_t>());
+  h.info.constant = h.kind == StreamKind::kConstant;
+  return h;
+}
+
+}  // namespace
+
+template <class T>
+std::vector<T> decompress(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  Header h = read_header(r);
+  if (h.info.scalar_size != sizeof(T))
+    throw std::runtime_error("sz::decompress: scalar type mismatch");
+  const std::size_t vol = h.info.block_dims.volume();
+  const std::size_t total = vol * h.info.nblocks;
+
+  if (h.kind == StreamKind::kConstant) {
+    const T v = r.get<T>();
+    return std::vector<T>(total, v);
+  }
+
+  if (h.kind == StreamKind::kPwRel) {
+    const auto inner = r.get_blob();
+    std::vector<T> logs = decompress<T>(inner);
+    if (logs.size() != total)
+      throw std::runtime_error("sz::decompress: pw-rel payload mismatch");
+    const auto sign_bytes = lossless::decompress(r.get_blob());
+    if (sign_bytes.size() < (total + 7) / 8)
+      throw std::runtime_error("sz::decompress: pw-rel sign bits truncated");
+    std::vector<T> out(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      const double mag = std::exp(static_cast<double>(logs[i]));
+      const bool neg = (sign_bytes[i / 8] >> (i % 8)) & 1u;
+      out[i] = static_cast<T>(neg ? -mag : mag);
+    }
+    const std::uint64_t nex = r.get_varint();
+    std::uint64_t idx = 0;
+    for (std::uint64_t e = 0; e < nex; ++e) {
+      idx += r.get_varint();
+      if (idx >= total)
+        throw std::runtime_error("sz::decompress: pw-rel exception index");
+      out[idx] = r.get<T>();
+    }
+    return out;
+  }
+
+  const auto huff_packed = r.get_blob();
+  const auto huff = lossless::decompress(huff_packed);
+  const auto codes = lossless::huffman_decompress(huff);
+  if (codes.size() != total)
+    throw std::runtime_error("sz::decompress: code count mismatch");
+
+  const auto outliers_packed = r.get_blob();
+  const auto outlier_bytes = lossless::decompress(outliers_packed);
+  if (outlier_bytes.size() % sizeof(T) != 0)
+    throw std::runtime_error("sz::decompress: outlier byte count");
+  std::vector<T> outliers(outlier_bytes.size() / sizeof(T));
+  std::memcpy(outliers.data(), outlier_bytes.data(), outlier_bytes.size());
+
+  const auto counts_blob = r.get_blob();
+  ByteReader counts_r(counts_blob);
+  std::vector<std::size_t> offsets(h.info.nblocks + 1, 0);
+  for (std::size_t b = 0; b < h.info.nblocks; ++b)
+    offsets[b + 1] = offsets[b] + static_cast<std::size_t>(counts_r.get_varint());
+  if (offsets.back() != outliers.size())
+    throw std::runtime_error("sz::decompress: outlier count mismatch");
+
+  std::vector<TilePlan> plans;
+  if (h.cfg.predictor == Predictor::kHybrid) {
+    const auto mode_bits = lossless::decompress(r.get_blob());
+    const auto coeff_bytes = lossless::decompress(r.get_blob());
+    if (coeff_bytes.size() % (4 * sizeof(float)) != 0)
+      throw std::runtime_error("sz::decompress: coefficient payload");
+    const Dims3 tiles = tile_counts(h.info.block_dims, h.cfg.pred_block);
+    const std::size_t ntiles = tiles.volume();
+    if (mode_bits.size() < (ntiles * h.info.nblocks + 7) / 8)
+      throw std::runtime_error("sz::decompress: tile mode payload");
+    plans.resize(h.info.nblocks);
+    std::size_t bit = 0;
+    std::size_t coeff = 0;
+    const std::size_t ncoeffs = coeff_bytes.size() / sizeof(float);
+    const auto* cf = reinterpret_cast<const float*>(coeff_bytes.data());
+    for (TilePlan& plan : plans) {
+      plan.pred_block = h.cfg.pred_block;
+      plan.tiles = tiles;
+      plan.fit_index.assign(ntiles, -1);
+      for (std::size_t t = 0; t < ntiles; ++t, ++bit) {
+        if ((mode_bits[bit / 8] >> (bit % 8)) & 1u) {
+          if (coeff + 4 > ncoeffs)
+            throw std::runtime_error("sz::decompress: coefficient underrun");
+          plan.fit_index[t] = static_cast<std::int32_t>(plan.fits.size());
+          plan.fits.push_back(
+              PlaneFit{cf[coeff], cf[coeff + 1], cf[coeff + 2],
+                       cf[coeff + 3]});
+          coeff += 4;
+        }
+      }
+    }
+  }
+
+  std::vector<T> out(total);
+  const double eb = h.info.abs_error_bound;
+  const std::uint32_t radius = h.cfg.quant_radius;
+  parallel_for(
+      0, h.info.nblocks,
+      [&](std::size_t b) {
+        reconstruct_block(codes.data() + b * vol, h.info.block_dims, eb,
+                          radius, outliers.data() + offsets[b],
+                          offsets[b + 1] - offsets[b], out.data() + b * vol,
+                          plans.empty() ? nullptr : &plans[b]);
+      },
+      /*grain=*/1);
+  return out;
+}
+
+SzStreamInfo peek(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  Header h = read_header(r);
+  if (h.kind == StreamKind::kPwRel) {
+    const auto inner = r.get_blob();
+    const SzStreamInfo inner_info = peek(inner);
+    h.info.n_outliers = inner_info.n_outliers;
+    return h.info;
+  }
+  if (h.kind == StreamKind::kGeneral) {
+    const auto huff_packed = r.get_blob();
+    const auto outliers_packed = r.get_blob();
+    const auto counts_blob = r.get_blob();
+    ByteReader counts_r(counts_blob);
+    std::size_t n = 0;
+    for (std::size_t b = 0; b < h.info.nblocks; ++b)
+      n += static_cast<std::size_t>(counts_r.get_varint());
+    h.info.n_outliers = n;
+    h.info.huffman_bytes = huff_packed.size();
+    h.info.outlier_bytes = outliers_packed.size();
+    h.info.metadata_bytes = bytes.size() - huff_packed.size() -
+                            outliers_packed.size();
+  }
+  return h.info;
+}
+
+template std::vector<std::uint8_t> compress<float>(std::span<const float>,
+                                                   Dims3, const SzConfig&,
+                                                   std::size_t);
+template std::vector<std::uint8_t> compress<double>(std::span<const double>,
+                                                    Dims3, const SzConfig&,
+                                                    std::size_t);
+template std::vector<float> decompress<float>(std::span<const std::uint8_t>);
+template std::vector<double> decompress<double>(
+    std::span<const std::uint8_t>);
+
+}  // namespace tac::sz

@@ -1,0 +1,57 @@
+#ifndef TAC_SZ_SZ_HPP
+#define TAC_SZ_SZ_HPP
+
+/// \file sz.hpp
+/// \brief Prediction-based error-bounded lossy compressor (SZ
+/// architecture): Lorenzo prediction, error-controlled linear quantization,
+/// canonical Huffman coding, LZSS lossless tail.
+///
+/// The batched interface compresses `nblocks` equally-sized 3D blocks as a
+/// single stream with one shared Huffman table — the paper's "linearize the
+/// remaining 3D blocks into a 4D array and pass it to the compressor".
+/// Prediction never crosses block boundaries.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/dims.hpp"
+#include "sz/config.hpp"
+
+namespace tac::sz {
+
+/// Summary of one compressed stream, for diagnostics and benches.
+struct SzStreamInfo {
+  Dims3 block_dims;
+  std::size_t nblocks = 0;
+  std::size_t scalar_size = 0;
+  double abs_error_bound = 0;  ///< effective absolute bound (0 = lossless)
+  double value_range = 0;
+  std::size_t n_outliers = 0;
+  bool constant = false;
+  // Where the bytes go (zero for constant streams):
+  std::size_t huffman_bytes = 0;   ///< entropy-coded quantization codes
+  std::size_t outlier_bytes = 0;   ///< exactly-stored unpredictable values
+  std::size_t metadata_bytes = 0;  ///< header + counts + predictor tables
+};
+
+/// Compresses `nblocks` consecutive blocks of extents `dims` stored
+/// contiguously in `data` (data.size() == dims.volume() * nblocks).
+/// T is float or double.
+template <class T>
+[[nodiscard]] std::vector<std::uint8_t> compress(std::span<const T> data,
+                                                 Dims3 dims,
+                                                 const SzConfig& cfg,
+                                                 std::size_t nblocks = 1);
+
+/// Decompresses a stream produced by compress<T>. Throws if the stream's
+/// scalar type does not match T.
+template <class T>
+[[nodiscard]] std::vector<T> decompress(std::span<const std::uint8_t> bytes);
+
+/// Reads the stream header without decompressing the payload.
+[[nodiscard]] SzStreamInfo peek(std::span<const std::uint8_t> bytes);
+
+}  // namespace tac::sz
+
+#endif  // TAC_SZ_SZ_HPP

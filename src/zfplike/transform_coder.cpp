@@ -1,0 +1,327 @@
+#include "zfplike/transform_coder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+#include "common/parallel.hpp"
+#include "lossless/codec.hpp"
+#include "lossless/huffman.hpp"
+
+namespace tac::zfplike {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x434654;  // "TFC"
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kBlock = 4;
+constexpr std::size_t kBlockVol = kBlock * kBlock * kBlock;
+
+/// One-level Haar lifting pair: s = mean, d = difference. Exactly
+/// invertible in floating point for the inverse below (s - d/2 and
+/// s + d/2 recover a and b up to one rounding).
+inline void lift_forward(double& a, double& b) {
+  const double d = b - a;
+  const double s = a + d / 2.0;
+  a = s;
+  b = d;
+}
+
+inline void lift_inverse(double& a, double& b) {
+  const double d = b;
+  const double s = a;
+  a = s - d / 2.0;
+  b = s + d / 2.0;
+}
+
+/// 1D two-level transform of 4 values at stride `st`: output layout
+/// [S, D, d0, d1] (coarse first, like a wavelet packet).
+inline void fwd4(double* p, std::size_t st) {
+  lift_forward(p[0], p[st]);           // s0 in p[0], d0 in p[st]
+  lift_forward(p[2 * st], p[3 * st]);  // s1, d1
+  double s0 = p[0], d0 = p[st], s1 = p[2 * st], d1 = p[3 * st];
+  lift_forward(s0, s1);  // S, D
+  p[0] = s0;
+  p[st] = s1;
+  p[2 * st] = d0;
+  p[3 * st] = d1;
+}
+
+inline void inv4(double* p, std::size_t st) {
+  double s0 = p[0], s1 = p[st], d0 = p[2 * st], d1 = p[3 * st];
+  lift_inverse(s0, s1);
+  p[0] = s0;
+  p[st] = d0;
+  p[2 * st] = s1;
+  p[3 * st] = d1;
+  lift_inverse(p[0], p[st]);
+  lift_inverse(p[2 * st], p[3 * st]);
+}
+
+}  // namespace
+
+void forward_transform(double block[64]) {
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t y = 0; y < 4; ++y) fwd4(block + 4 * (y + 4 * z), 1);
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t x = 0; x < 4; ++x) fwd4(block + x + 16 * z, 4);
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 4; ++x) fwd4(block + x + 4 * y, 16);
+}
+
+void inverse_transform(double block[64]) {
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 4; ++x) inv4(block + x + 4 * y, 16);
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t x = 0; x < 4; ++x) inv4(block + x + 16 * z, 4);
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t y = 0; y < 4; ++y) inv4(block + 4 * (y + 4 * z), 1);
+}
+
+namespace {
+
+struct BlockResult {
+  std::int16_t qexp = 0;  ///< quantizer step = 2^qexp
+  std::uint32_t codes[kBlockVol];
+  std::vector<double> outliers;  ///< coefficients outside the code range
+  /// Non-finite cells, stored raw and patched after the inverse transform
+  /// (a NaN would otherwise contaminate the whole block's spectrum).
+  std::vector<std::pair<std::uint8_t, double>> exceptions;
+};
+
+/// Quantize/dequantize one coefficient against step q.
+inline double quantize_coeff(double c, double q, std::uint32_t radius,
+                             std::uint32_t& code, bool& outlier) {
+  const double k = std::nearbyint(c / q);
+  if (std::isfinite(k) && std::fabs(k) < static_cast<double>(radius)) {
+    code = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(k) + static_cast<std::int64_t>(radius));
+    outlier = false;
+    return k * q;
+  }
+  code = 0;
+  outlier = true;
+  return c;
+}
+
+/// Encodes one block: picks the coarsest power-of-two quantizer whose
+/// *verified* reconstruction error stays within the bound.
+BlockResult encode_block(const double* cells_in, double eb,
+                         std::uint32_t radius) {
+  BlockResult pre;
+  double cells[kBlockVol];
+  for (std::size_t i = 0; i < kBlockVol; ++i) {
+    if (std::isfinite(cells_in[i])) {
+      cells[i] = cells_in[i];
+    } else {
+      pre.exceptions.emplace_back(static_cast<std::uint8_t>(i),
+                                  cells_in[i]);
+      cells[i] = 0.0;
+    }
+  }
+  double coeffs[kBlockVol];
+  std::copy(cells, cells + kBlockVol, coeffs);
+  forward_transform(coeffs);
+
+  // Start from the naive step (coefficient errors of q/2 pass through a
+  // benign inverse as ~eb) and search the coarsest power-of-two step whose
+  // verified reconstruction stays within the bound. Tightening always
+  // terminates: as q shrinks, coefficients either quantize exactly or
+  // overflow the code range into the exactly-stored outlier path.
+  const auto verify = [&](int qe, BlockResult& out) {
+    const double q = std::ldexp(1.0, qe);
+    double recon[kBlockVol];
+    out.outliers.clear();
+    for (std::size_t i = 0; i < kBlockVol; ++i) {
+      bool outlier = false;
+      recon[i] = quantize_coeff(coeffs[i], q, radius, out.codes[i], outlier);
+      if (outlier) out.outliers.push_back(coeffs[i]);
+    }
+    inverse_transform(recon);
+    for (std::size_t i = 0; i < kBlockVol; ++i)
+      if (!(std::fabs(recon[i] - cells[i]) <= eb)) return false;
+    out.qexp = static_cast<std::int16_t>(qe);
+    out.exceptions = pre.exceptions;
+    return true;
+  };
+
+  BlockResult best;
+  int qe = std::clamp(std::ilogb(std::max(eb, 1e-300)), -1000, 1000);
+  if (!verify(qe, best)) {
+    while (!verify(--qe, best)) {
+      if (qe < -1060)
+        throw std::logic_error("transform coder: quantizer search failed");
+    }
+  } else {
+    BlockResult trial;
+    while (qe < 1000 && verify(qe + 1, trial)) {
+      best = trial;
+      ++qe;
+    }
+  }
+  return best;
+}
+
+void decode_block(const std::uint32_t* codes, double q,
+                  std::uint32_t radius, const double* outliers,
+                  std::size_t n_outliers, double* cells) {
+  std::size_t oi = 0;
+  for (std::size_t i = 0; i < kBlockVol; ++i) {
+    if (codes[i] == 0) {
+      if (oi >= n_outliers)
+        throw std::runtime_error("transform coder: outlier underrun");
+      cells[i] = outliers[oi++];
+    } else {
+      const auto k = static_cast<std::int64_t>(codes[i]) -
+                     static_cast<std::int64_t>(radius);
+      cells[i] = static_cast<double>(k) * q;
+    }
+  }
+  if (oi != n_outliers)
+    throw std::runtime_error("transform coder: outlier miscount");
+  inverse_transform(cells);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress(std::span<const double> data, Dims3 dims,
+                                   const TransformConfig& cfg) {
+  if (data.size() != dims.volume())
+    throw std::invalid_argument("transform coder: size mismatch");
+  if (!(cfg.abs_error_bound > 0) || !std::isfinite(cfg.abs_error_bound))
+    throw std::invalid_argument("transform coder: bound must be > 0");
+
+  const Dims3 blocks{ceil_div(dims.nx, kBlock), ceil_div(dims.ny, kBlock),
+                     ceil_div(dims.nz, kBlock)};
+  const std::size_t nblocks = blocks.volume();
+
+  std::vector<BlockResult> results(nblocks);
+  parallel_for(0, nblocks, [&](std::size_t b) {
+    const std::size_t bx = b % blocks.nx;
+    const std::size_t by = (b / blocks.nx) % blocks.ny;
+    const std::size_t bz = b / (blocks.nx * blocks.ny);
+    double cells[kBlockVol];
+    for (std::size_t z = 0; z < kBlock; ++z)
+      for (std::size_t y = 0; y < kBlock; ++y)
+        for (std::size_t x = 0; x < kBlock; ++x) {
+          // Edge blocks replicate the nearest in-range cell so padding
+          // stays smooth.
+          const std::size_t gx = std::min(bx * kBlock + x, dims.nx - 1);
+          const std::size_t gy = std::min(by * kBlock + y, dims.ny - 1);
+          const std::size_t gz = std::min(bz * kBlock + z, dims.nz - 1);
+          cells[x + kBlock * (y + kBlock * z)] =
+              data[dims.index(gx, gy, gz)];
+        }
+    results[b] = encode_block(cells, cfg.abs_error_bound, cfg.quant_radius);
+  }, /*grain=*/16);
+
+  std::vector<std::uint32_t> codes;
+  codes.reserve(nblocks * kBlockVol);
+  std::vector<double> outliers;
+  ByteWriter meta;
+  for (const BlockResult& r : results) {
+    codes.insert(codes.end(), r.codes, r.codes + kBlockVol);
+    outliers.insert(outliers.end(), r.outliers.begin(), r.outliers.end());
+    meta.put<std::int16_t>(r.qexp);
+    meta.put_varint(r.outliers.size());
+    meta.put_varint(r.exceptions.size());
+    for (const auto& [idx, val] : r.exceptions) {
+      meta.put<std::uint8_t>(idx);
+      meta.put<double>(val);
+    }
+  }
+
+  ByteWriter w;
+  w.put<std::uint32_t>(kMagic);
+  w.put<std::uint8_t>(kVersion);
+  w.put_varint(dims.nx);
+  w.put_varint(dims.ny);
+  w.put_varint(dims.nz);
+  w.put<double>(cfg.abs_error_bound);
+  w.put_varint(cfg.quant_radius);
+  w.put_blob(lossless::compress(lossless::huffman_compress(codes)));
+  std::span<const std::uint8_t> outlier_bytes{
+      reinterpret_cast<const std::uint8_t*>(outliers.data()),
+      outliers.size() * sizeof(double)};
+  w.put_blob(lossless::compress(outlier_bytes));
+  w.put_blob(lossless::compress(meta.buffer()));
+  return w.take();
+}
+
+std::vector<double> decompress(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.get<std::uint32_t>() != kMagic)
+    throw std::runtime_error("transform coder: bad magic");
+  if (r.get<std::uint8_t>() != kVersion)
+    throw std::runtime_error("transform coder: bad version");
+  Dims3 dims;
+  dims.nx = static_cast<std::size_t>(r.get_varint());
+  dims.ny = static_cast<std::size_t>(r.get_varint());
+  dims.nz = static_cast<std::size_t>(r.get_varint());
+  (void)r.get<double>();  // bound (informational)
+  const auto radius = static_cast<std::uint32_t>(r.get_varint());
+
+  const auto codes =
+      lossless::huffman_decompress(lossless::decompress(r.get_blob()));
+  const auto outlier_raw = lossless::decompress(r.get_blob());
+  if (outlier_raw.size() % sizeof(double) != 0)
+    throw std::runtime_error("transform coder: outlier payload");
+  std::vector<double> outliers(outlier_raw.size() / sizeof(double));
+  std::memcpy(outliers.data(), outlier_raw.data(), outlier_raw.size());
+  const auto meta_raw = lossless::decompress(r.get_blob());
+  ByteReader meta(meta_raw);
+
+  const Dims3 blocks{ceil_div(dims.nx, kBlock), ceil_div(dims.ny, kBlock),
+                     ceil_div(dims.nz, kBlock)};
+  const std::size_t nblocks = blocks.volume();
+  if (codes.size() != nblocks * kBlockVol)
+    throw std::runtime_error("transform coder: code count mismatch");
+
+  std::vector<std::int16_t> qexps(nblocks);
+  std::vector<std::size_t> offsets(nblocks + 1, 0);
+  std::vector<std::vector<std::pair<std::uint8_t, double>>> exceptions(
+      nblocks);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    qexps[b] = meta.get<std::int16_t>();
+    offsets[b + 1] =
+        offsets[b] + static_cast<std::size_t>(meta.get_varint());
+    const std::size_t nexc = static_cast<std::size_t>(meta.get_varint());
+    exceptions[b].reserve(nexc);
+    for (std::size_t e = 0; e < nexc; ++e) {
+      const auto idx = meta.get<std::uint8_t>();
+      const auto val = meta.get<double>();
+      if (idx >= kBlockVol)
+        throw std::runtime_error("transform coder: bad exception index");
+      exceptions[b].emplace_back(idx, val);
+    }
+  }
+  if (offsets.back() != outliers.size())
+    throw std::runtime_error("transform coder: outlier count mismatch");
+
+  std::vector<double> out(dims.volume());
+  parallel_for(0, nblocks, [&](std::size_t b) {
+    const std::size_t bx = b % blocks.nx;
+    const std::size_t by = (b / blocks.nx) % blocks.ny;
+    const std::size_t bz = b / (blocks.nx * blocks.ny);
+    double cells[kBlockVol];
+    decode_block(codes.data() + b * kBlockVol,
+                 std::ldexp(1.0, qexps[b]), radius,
+                 outliers.data() + offsets[b],
+                 offsets[b + 1] - offsets[b], cells);
+    for (const auto& [idx, val] : exceptions[b]) cells[idx] = val;
+    for (std::size_t z = 0; z < kBlock; ++z)
+      for (std::size_t y = 0; y < kBlock; ++y)
+        for (std::size_t x = 0; x < kBlock; ++x) {
+          const std::size_t gx = bx * kBlock + x;
+          const std::size_t gy = by * kBlock + y;
+          const std::size_t gz = bz * kBlock + z;
+          if (gx < dims.nx && gy < dims.ny && gz < dims.nz)
+            out[dims.index(gx, gy, gz)] =
+                cells[x + kBlock * (y + kBlock * z)];
+        }
+  }, /*grain=*/16);
+  return out;
+}
+
+}  // namespace tac::zfplike

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "analysis/halo_finder.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/power_spectrum.hpp"
+
+namespace tac::analysis {
+namespace {
+
+TEST(Metrics, IdenticalDataHasInfinitePsnr) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  const auto s = distortion(v, v);
+  EXPECT_TRUE(std::isinf(s.psnr));
+  EXPECT_DOUBLE_EQ(s.mse, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_abs_error, 0.0);
+}
+
+TEST(Metrics, KnownPsnr) {
+  // Range 10, every error 0.1 -> PSNR = 20*log10(10/0.1) = 40 dB.
+  std::vector<double> orig(1000), recon(1000);
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    orig[i] = static_cast<double>(i % 11);
+    recon[i] = orig[i] + 0.1;
+  }
+  const auto s = distortion(orig, recon);
+  EXPECT_NEAR(s.psnr, 40.0, 1e-9);
+  EXPECT_NEAR(s.max_abs_error, 0.1, 1e-12);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> b = {1};
+  EXPECT_THROW((void)distortion(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, RatioAndBitRateAreConsistent) {
+  // 1000 doubles -> 800 bytes compressed: CR 10, 6.4 bits/value.
+  EXPECT_DOUBLE_EQ(compression_ratio(8000, 800), 10.0);
+  EXPECT_DOUBLE_EQ(bit_rate(1000, 800), 6.4);
+  // CR * bit_rate == 64 for doubles.
+  EXPECT_NEAR(compression_ratio(8000, 800) * bit_rate(1000, 800), 64.0,
+              1e-12);
+}
+
+TEST(PowerSpectrum, SinglePlaneWavePeaksAtItsShell) {
+  const Dims3 d{32, 32, 32};
+  Array3D<double> rho(d);
+  for (std::size_t z = 0; z < d.nz; ++z)
+    for (std::size_t y = 0; y < d.ny; ++y)
+      for (std::size_t x = 0; x < d.nx; ++x)
+        rho(x, y, z) = 10.0 + std::cos(2.0 * std::numbers::pi * 4.0 *
+                                       static_cast<double>(x) /
+                                       static_cast<double>(d.nx));
+  const auto ps = power_spectrum(rho);
+  // Find the k=4 bin; it must dominate all others.
+  double peak_pk = 0, max_other = 0;
+  for (std::size_t i = 0; i < ps.k.size(); ++i) {
+    if (ps.k[i] == 4.0)
+      peak_pk = ps.pk[i];
+    else
+      max_other = std::max(max_other, ps.pk[i]);
+  }
+  EXPECT_GT(peak_pk, 1e-6);
+  EXPECT_LT(max_other, peak_pk * 1e-12);
+}
+
+TEST(PowerSpectrum, IdenticalFieldsHaveZeroError) {
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> u(1, 2);
+  Array3D<double> rho({16, 16, 16});
+  for (std::size_t i = 0; i < rho.size(); ++i) rho[i] = u(rng);
+  const auto a = power_spectrum(rho);
+  const auto b = power_spectrum(rho);
+  EXPECT_DOUBLE_EQ(max_relative_error(a, b, 10.0), 0.0);
+}
+
+TEST(PowerSpectrum, SmallPerturbationSmallError) {
+  std::mt19937 rng(4);
+  std::uniform_real_distribution<double> u(1, 2);
+  std::uniform_real_distribution<double> eps(-1e-6, 1e-6);
+  Array3D<double> rho({16, 16, 16});
+  for (std::size_t i = 0; i < rho.size(); ++i) rho[i] = u(rng);
+  auto rho2 = rho;
+  for (std::size_t i = 0; i < rho2.size(); ++i) rho2[i] += eps(rng);
+  const auto a = power_spectrum(rho);
+  const auto b = power_spectrum(rho2);
+  EXPECT_LT(max_relative_error(a, b, 10.0), 1e-2);
+}
+
+TEST(PowerSpectrum, ZeroMeanThrows) {
+  Array3D<double> rho({8, 8, 8}, 0.0);
+  EXPECT_THROW((void)power_spectrum(rho), std::invalid_argument);
+}
+
+Array3D<double> blob_field(Dims3 d, double background = 1.0) {
+  return Array3D<double>(d, background);
+}
+
+void add_blob(Array3D<double>& f, std::size_t cx, std::size_t cy,
+              std::size_t cz, std::size_t half, double value) {
+  for (std::size_t z = cz - half; z <= cz + half; ++z)
+    for (std::size_t y = cy - half; y <= cy + half; ++y)
+      for (std::size_t x = cx - half; x <= cx + half; ++x) f(x, y, z) = value;
+}
+
+TEST(HaloFinder, FindsIsolatedBlobs) {
+  auto f = blob_field({32, 32, 32});
+  add_blob(f, 8, 8, 8, 1, 500.0);    // 27 cells
+  add_blob(f, 24, 24, 24, 1, 800.0); // 27 cells, heavier
+  const auto cat = find_halos(f, {.threshold_factor = 81.66, .min_cells = 8});
+  ASSERT_EQ(cat.halos.size(), 2u);
+  // Sorted by mass descending.
+  EXPECT_GT(cat.halos[0].mass, cat.halos[1].mass);
+  EXPECT_EQ(cat.halos[0].cells, 27u);
+  // Constant-valued blob: the peak is any of its cells (tie), all within
+  // the blob extent around (24, 24, 24).
+  EXPECT_GE(cat.halos[0].x, 23u);
+  EXPECT_LE(cat.halos[0].x, 25u);
+}
+
+TEST(HaloFinder, MinCellsFiltersSmallClumps) {
+  auto f = blob_field({32, 32, 32});
+  add_blob(f, 8, 8, 8, 1, 500.0);  // 27 cells -> halo
+  f(20, 20, 20) = 500.0;           // single cell -> rejected
+  const auto cat = find_halos(f, {.threshold_factor = 81.66, .min_cells = 8});
+  EXPECT_EQ(cat.halos.size(), 1u);
+}
+
+TEST(HaloFinder, ThresholdScalesWithMean) {
+  auto f = blob_field({16, 16, 16}, 1.0);
+  const auto cat = find_halos(f);
+  EXPECT_NEAR(cat.mean, 1.0, 1e-12);
+  EXPECT_NEAR(cat.threshold, 81.66, 1e-9);
+  EXPECT_TRUE(cat.halos.empty());
+}
+
+TEST(HaloFinder, PeriodicWrapJoinsBoundaryHalo) {
+  auto f = blob_field({16, 16, 16});
+  // A blob straddling the x boundary: cells at x = 15 and x = 0.
+  for (std::size_t y = 4; y < 7; ++y)
+    for (std::size_t z = 4; z < 7; ++z) {
+      f(15, y, z) = 900.0;
+      f(0, y, z) = 900.0;
+    }
+  const auto periodic =
+      find_halos(f, {.threshold_factor = 50.0, .min_cells = 10,
+                     .periodic = true});
+  ASSERT_EQ(periodic.halos.size(), 1u);
+  EXPECT_EQ(periodic.halos[0].cells, 18u);
+  const auto open = find_halos(f, {.threshold_factor = 50.0, .min_cells = 5,
+                                   .periodic = false});
+  EXPECT_EQ(open.halos.size(), 2u);
+}
+
+TEST(HaloFinder, CompareLargestHalo) {
+  auto f = blob_field({32, 32, 32});
+  add_blob(f, 8, 8, 8, 2, 1000.0);  // 125 cells
+  auto g = f;
+  g(8, 8, 8) = 990.0;  // slightly perturbed mass
+  const auto a = find_halos(f);
+  const auto b = find_halos(g);
+  const auto cmp = compare_largest_halo(a, b);
+  EXPECT_GT(cmp.rel_mass_diff, 0.0);
+  EXPECT_LT(cmp.rel_mass_diff, 1e-3);
+  EXPECT_DOUBLE_EQ(cmp.cell_count_diff, 0.0);
+}
+
+TEST(HaloFinder, MissingHalosReportedAsFullDiff) {
+  auto f = blob_field({16, 16, 16});
+  add_blob(f, 8, 8, 8, 1, 500.0);
+  const auto with = find_halos(f);
+  const auto without = find_halos(blob_field({16, 16, 16}));
+  const auto cmp = compare_largest_halo(with, without);
+  EXPECT_DOUBLE_EQ(cmp.rel_mass_diff, 1.0);
+}
+
+}  // namespace
+}  // namespace tac::analysis

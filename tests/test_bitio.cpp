@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "common/bitio.hpp"
+#include "common/bytes.hpp"
+
+namespace tac {
+namespace {
+
+TEST(BitIO, EmptyStream) {
+  BitWriter w;
+  const auto bytes = w.finish();
+  EXPECT_TRUE(bytes.empty());
+}
+
+TEST(BitIO, SingleBit) {
+  BitWriter w;
+  w.write_bit(true);
+  const auto bytes = w.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x80);  // MSB-first
+  BitReader r(bytes);
+  EXPECT_TRUE(r.read_bit());
+}
+
+TEST(BitIO, ByteAlignedPattern) {
+  BitWriter w;
+  w.write(0xAB, 8);
+  w.write(0xCD, 8);
+  const auto bytes = w.finish();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0xAB);
+  EXPECT_EQ(bytes[1], 0xCD);
+}
+
+TEST(BitIO, UnalignedFieldsRoundTrip) {
+  BitWriter w;
+  w.write(0b101, 3);
+  w.write(0b11110000111, 11);
+  w.write(1, 1);
+  w.write(0x123456789ABCDEFull, 60);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read(3), 0b101u);
+  EXPECT_EQ(r.read(11), 0b11110000111u);
+  EXPECT_EQ(r.read(1), 1u);
+  EXPECT_EQ(r.read(60), 0x123456789ABCDEFull);
+}
+
+TEST(BitIO, BitCountTracksWrites) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.write(0, 5);
+  EXPECT_EQ(w.bit_count(), 5u);
+  w.write(0, 9);
+  EXPECT_EQ(w.bit_count(), 14u);
+}
+
+TEST(BitIO, ReadPastEndThrows) {
+  BitWriter w;
+  w.write(0xFF, 8);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  (void)r.read(8);
+  EXPECT_THROW((void)r.read_bit(), std::out_of_range);
+}
+
+TEST(BitIO, RandomRoundTrip) {
+  std::mt19937_64 rng(42);
+  std::vector<std::pair<std::uint64_t, unsigned>> fields;
+  BitWriter w;
+  for (int i = 0; i < 10000; ++i) {
+    const unsigned nbits = 1 + static_cast<unsigned>(rng() % 57);
+    const std::uint64_t value =
+        rng() & ((nbits == 64) ? ~0ull : ((1ull << nbits) - 1));
+    fields.emplace_back(value, nbits);
+    w.write(value, nbits);
+  }
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (const auto& [value, nbits] : fields) EXPECT_EQ(r.read(nbits), value);
+}
+
+TEST(ByteIO, VarintRoundTrip) {
+  ByteWriter w;
+  const std::vector<std::uint64_t> values = {
+      0, 1, 127, 128, 300, 1u << 20, (1ull << 35) + 7, ~0ull};
+  for (const auto v : values) w.put_varint(v);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  for (const auto v : values) EXPECT_EQ(r.get_varint(), v);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteIO, TrivialTypesRoundTrip) {
+  ByteWriter w;
+  w.put<std::uint16_t>(0xBEEF);
+  w.put<double>(3.25);
+  w.put<float>(-1.5f);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.get<std::uint16_t>(), 0xBEEF);
+  EXPECT_EQ(r.get<double>(), 3.25);
+  EXPECT_EQ(r.get<float>(), -1.5f);
+}
+
+TEST(ByteIO, BlobAndStringRoundTrip) {
+  ByteWriter w;
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 250};
+  w.put_blob(blob);
+  w.put_string("baryon_density");
+  const auto buf = w.take();
+  ByteReader r(buf);
+  const auto got = r.get_blob();
+  EXPECT_TRUE(std::equal(blob.begin(), blob.end(), got.begin(), got.end()));
+  EXPECT_EQ(r.get_string(), "baryon_density");
+}
+
+TEST(ByteIO, TruncatedInputThrows) {
+  ByteWriter w;
+  w.put<double>(1.0);
+  auto buf = w.take();
+  buf.resize(4);
+  ByteReader r(buf);
+  EXPECT_THROW((void)r.get<double>(), std::runtime_error);
+}
+
+TEST(ByteIO, EmptyBlob) {
+  ByteWriter w;
+  w.put_blob({});
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_blob().size(), 0u);
+}
+
+}  // namespace
+}  // namespace tac

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "fft/fft.hpp"
+
+namespace tac::fft {
+namespace {
+
+TEST(Fft1D, RoundTrip) {
+  std::mt19937 rng(1);
+  std::uniform_real_distribution<double> u(-1, 1);
+  std::vector<Complex> v(256);
+  for (auto& c : v) c = Complex(u(rng), u(rng));
+  auto w = v;
+  fft_1d(w, false);
+  fft_1d(w, true);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(w[i].real(), v[i].real(), 1e-10);
+    EXPECT_NEAR(w[i].imag(), v[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft1D, MatchesNaiveDft) {
+  std::mt19937 rng(2);
+  std::uniform_real_distribution<double> u(-1, 1);
+  std::vector<Complex> v(64);
+  for (auto& c : v) c = Complex(u(rng), u(rng));
+  auto fast = v;
+  fft_1d(fast, false);
+  const std::size_t n = v.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * t) /
+                         static_cast<double>(n);
+      sum += v[t] * Complex(std::cos(ang), std::sin(ang));
+    }
+    EXPECT_NEAR(fast[k].real(), sum.real(), 1e-8);
+    EXPECT_NEAR(fast[k].imag(), sum.imag(), 1e-8);
+  }
+}
+
+TEST(Fft1D, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> v(128, Complex(0, 0));
+  v[0] = Complex(1, 0);
+  fft_1d(v, false);
+  for (const auto& c : v) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft1D, ParsevalHolds) {
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> u(-1, 1);
+  std::vector<Complex> v(512);
+  double time_energy = 0;
+  for (auto& c : v) {
+    c = Complex(u(rng), u(rng));
+    time_energy += std::norm(c);
+  }
+  auto f = v;
+  fft_1d(f, false);
+  double freq_energy = 0;
+  for (const auto& c : f) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(v.size()), time_energy, 1e-8);
+}
+
+TEST(Fft1D, NonPowerOfTwoThrows) {
+  std::vector<Complex> v(100);
+  EXPECT_THROW(fft_1d(v, false), std::invalid_argument);
+}
+
+TEST(Fft3D, RoundTrip) {
+  std::mt19937 rng(4);
+  std::uniform_real_distribution<double> u(-1, 1);
+  Array3D<Complex> v({16, 8, 32});
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = Complex(u(rng), u(rng));
+  auto w = v;
+  fft_3d(w, false);
+  fft_3d(w, true);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(w[i].real(), v[i].real(), 1e-9);
+    EXPECT_NEAR(w[i].imag(), v[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft3D, PlaneWaveConcentratesAtItsMode) {
+  // f(x) = exp(2πi * 3x / nx) -> single peak at (3, 0, 0).
+  const Dims3 d{32, 8, 8};
+  Array3D<Complex> v(d);
+  for (std::size_t z = 0; z < d.nz; ++z)
+    for (std::size_t y = 0; y < d.ny; ++y)
+      for (std::size_t x = 0; x < d.nx; ++x) {
+        const double ang = 2.0 * std::numbers::pi * 3.0 *
+                           static_cast<double>(x) / static_cast<double>(d.nx);
+        v(x, y, z) = Complex(std::cos(ang), std::sin(ang));
+      }
+  fft_3d(v, false);
+  const double expected = static_cast<double>(d.volume());
+  for (std::size_t z = 0; z < d.nz; ++z)
+    for (std::size_t y = 0; y < d.ny; ++y)
+      for (std::size_t x = 0; x < d.nx; ++x) {
+        const double mag = std::abs(v(x, y, z));
+        if (x == 3 && y == 0 && z == 0)
+          EXPECT_NEAR(mag, expected, 1e-6);
+        else
+          EXPECT_NEAR(mag, 0.0, 1e-6);
+      }
+}
+
+TEST(Fft3D, RealFieldHasHermitianSpectrum) {
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> u(-1, 1);
+  Array3D<double> f({8, 8, 8});
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] = u(rng);
+  const auto spec = fft_3d_real(f);
+  const Dims3 d = spec.dims();
+  for (std::size_t z = 0; z < d.nz; ++z)
+    for (std::size_t y = 0; y < d.ny; ++y)
+      for (std::size_t x = 0; x < d.nx; ++x) {
+        const auto& a = spec(x, y, z);
+        const auto& b = spec((d.nx - x) % d.nx, (d.ny - y) % d.ny,
+                             (d.nz - z) % d.nz);
+        EXPECT_NEAR(a.real(), b.real(), 1e-9);
+        EXPECT_NEAR(a.imag(), -b.imag(), 1e-9);
+      }
+}
+
+}  // namespace
+}  // namespace tac::fft

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/block_grid.hpp"
+#include "core/gsp.hpp"
+#include "sz/sz.hpp"
+
+namespace tac::core {
+namespace {
+
+/// Level with the left half valid at a constant value and the right half
+/// empty; block size 4.
+amr::AmrLevel half_level(double value = 5.0) {
+  amr::AmrLevel lv({16, 16, 16});
+  for (std::size_t z = 0; z < 16; ++z)
+    for (std::size_t y = 0; y < 16; ++y)
+      for (std::size_t x = 0; x < 8; ++x) {
+        lv.mask(x, y, z) = 1;
+        lv.data(x, y, z) = value;
+      }
+  return lv;
+}
+
+TEST(Gsp, PadsAdjacentEmptyBlockWithNeighbourBoundary) {
+  const auto lv = half_level(5.0);
+  const BlockGrid grid(lv.dims(), 4);
+  const auto occ = block_occupancy(lv, grid);
+  const auto padded = gsp_pad(lv, grid, occ);
+  // Block column x in [8,12) touches the valid half: padded with 5.0.
+  EXPECT_DOUBLE_EQ(padded(9, 5, 5), 5.0);
+  // Far column x in [12,16) has no non-empty neighbour: stays zero.
+  EXPECT_DOUBLE_EQ(padded(14, 5, 5), 0.0);
+  // Valid data untouched.
+  EXPECT_DOUBLE_EQ(padded(3, 3, 3), 5.0);
+}
+
+TEST(Gsp, AveragesMultipleNeighbours) {
+  // Empty block sandwiched between value-2 (left) and value-6 (right)
+  // blocks: padding = mean of the two boundary slices = 4.
+  amr::AmrLevel lv({12, 4, 4});
+  const BlockGrid grid(lv.dims(), 4);
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t y = 0; y < 4; ++y) {
+      for (std::size_t x = 0; x < 4; ++x) {
+        lv.mask(x, y, z) = 1;
+        lv.data(x, y, z) = 2.0;
+      }
+      for (std::size_t x = 8; x < 12; ++x) {
+        lv.mask(x, y, z) = 1;
+        lv.data(x, y, z) = 6.0;
+      }
+    }
+  const auto occ = block_occupancy(lv, grid);
+  const auto padded = gsp_pad(lv, grid, occ);
+  EXPECT_DOUBLE_EQ(padded(5, 2, 2), 4.0);
+}
+
+TEST(Gsp, UsesOnlyBoundarySlice) {
+  // Neighbour block has 7 in its facing slice and 100 elsewhere: padding
+  // must be 7, not a blend with the interior.
+  amr::AmrLevel lv({8, 4, 4});
+  const BlockGrid grid(lv.dims(), 4);
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t y = 0; y < 4; ++y)
+      for (std::size_t x = 0; x < 4; ++x) {
+        lv.mask(x, y, z) = 1;
+        lv.data(x, y, z) = (x == 3) ? 7.0 : 100.0;
+      }
+  const auto occ = block_occupancy(lv, grid);
+  const auto padded = gsp_pad(lv, grid, occ);
+  EXPECT_DOUBLE_EQ(padded(5, 1, 1), 7.0);
+}
+
+TEST(Gsp, SkipsInvalidCellsInBoundarySlice) {
+  // Facing slice is half valid: only valid cells contribute.
+  amr::AmrLevel lv({8, 4, 4});
+  const BlockGrid grid(lv.dims(), 4);
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t y = 0; y < 4; ++y)
+      for (std::size_t x = 0; x < 4; ++x) {
+        const bool valid = !(x == 3 && y < 2);
+        lv.mask(x, y, z) = valid ? 1 : 0;
+        lv.data(x, y, z) = valid ? 9.0 : 0.0;
+      }
+  const auto occ = block_occupancy(lv, grid);
+  const auto padded = gsp_pad(lv, grid, occ);
+  EXPECT_DOUBLE_EQ(padded(6, 0, 0), 9.0);
+}
+
+TEST(Gsp, FullyValidLevelUnchanged) {
+  amr::AmrLevel lv({8, 8, 8});
+  std::mt19937 rng(2);
+  std::uniform_real_distribution<double> u(1, 2);
+  for (std::size_t i = 0; i < lv.mask.size(); ++i) {
+    lv.mask[i] = 1;
+    lv.data[i] = u(rng);
+  }
+  const BlockGrid grid(lv.dims(), 4);
+  const auto occ = block_occupancy(lv, grid);
+  EXPECT_EQ(gsp_pad(lv, grid, occ), lv.data);
+}
+
+TEST(Gsp, CompressesBetterThanZeroFillOnDenseData) {
+  // The mechanism behind Figure 12: scattered zero blocks inside dense
+  // smooth data poison the Lorenzo predictor of every cell that follows
+  // them in scan order, inflating quantization codes. Ghost-shell values
+  // keep the field locally smooth, so the same error bound costs fewer
+  // bits.
+  amr::AmrLevel lv({32, 32, 32});
+  std::size_t block_index = 0;
+  for (std::size_t bz = 0; bz < 8; ++bz)
+    for (std::size_t by = 0; by < 8; ++by)
+      for (std::size_t bx = 0; bx < 8; ++bx, ++block_index) {
+        if (block_index % 5 == 0) continue;  // ~20% empty blocks, scattered
+        for (std::size_t dz = 0; dz < 4; ++dz)
+          for (std::size_t dy = 0; dy < 4; ++dy)
+            for (std::size_t dx = 0; dx < 4; ++dx) {
+              const std::size_t x = bx * 4 + dx;
+              const std::size_t y = by * 4 + dy;
+              const std::size_t z = bz * 4 + dz;
+              lv.mask(x, y, z) = 1;
+              lv.data(x, y, z) =
+                  1000.0 + std::sin(0.2 * static_cast<double>(x)) * 40.0 +
+                  std::cos(0.15 * static_cast<double>(y + z)) * 40.0;
+            }
+      }
+  const BlockGrid grid(lv.dims(), 4);
+  const auto occ = block_occupancy(lv, grid);
+  const auto gsp = gsp_pad(lv, grid, occ);
+  const auto zf = zf_pad(lv);
+  const sz::SzConfig cfg{.error_bound = 0.5};
+  const auto gsp_bytes = sz::compress<double>(gsp.span(), gsp.dims(), cfg);
+  const auto zf_bytes = sz::compress<double>(zf.span(), zf.dims(), cfg);
+  EXPECT_LT(gsp_bytes.size(), zf_bytes.size());
+}
+
+TEST(Zf, ReturnsRawGrid) {
+  const auto lv = half_level(3.0);
+  EXPECT_EQ(zf_pad(lv), lv.data);
+}
+
+}  // namespace
+}  // namespace tac::core

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "lossless/huffman.hpp"
+
+namespace tac::lossless {
+namespace {
+
+std::vector<std::uint32_t> roundtrip(const std::vector<std::uint32_t>& syms) {
+  const auto bytes = huffman_compress(syms);
+  return huffman_decompress(bytes);
+}
+
+TEST(Huffman, EmptyInput) {
+  EXPECT_TRUE(roundtrip({}).empty());
+}
+
+TEST(Huffman, SingleSymbolRepeated) {
+  const std::vector<std::uint32_t> syms(1000, 42);
+  EXPECT_EQ(roundtrip(syms), syms);
+}
+
+TEST(Huffman, SingleOccurrence) {
+  const std::vector<std::uint32_t> syms = {7};
+  EXPECT_EQ(roundtrip(syms), syms);
+}
+
+TEST(Huffman, TwoSymbols) {
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 100; ++i) syms.push_back(i % 2 ? 5u : 9u);
+  EXPECT_EQ(roundtrip(syms), syms);
+}
+
+TEST(Huffman, SkewedDistributionCompresses) {
+  // 99% one symbol: entropy ~0.08 bits/sym; Huffman floor is 1 bit/sym.
+  std::mt19937 rng(1);
+  std::vector<std::uint32_t> syms(100000);
+  for (auto& s : syms) s = (rng() % 100 == 0) ? rng() % 64 : 32768u;
+  const auto bytes = huffman_compress(syms);
+  EXPECT_EQ(huffman_decompress(bytes), syms);
+  EXPECT_LT(bytes.size(), syms.size() / 4);  // >= 8x vs 4-byte symbols
+}
+
+TEST(Huffman, LargeAlphabetRoundTrip) {
+  std::mt19937 rng(2);
+  std::vector<std::uint32_t> syms(50000);
+  for (auto& s : syms) s = rng() % 65536;
+  EXPECT_EQ(roundtrip(syms), syms);
+}
+
+TEST(Huffman, ExtremeSkewStillDecodes) {
+  // Fibonacci-like frequencies make deep trees; the length limiter must
+  // keep codes <= kMaxLen while staying decodable.
+  std::vector<std::uint32_t> syms;
+  std::uint64_t f1 = 1, f2 = 1;
+  for (std::uint32_t s = 0; s < 40; ++s) {
+    for (std::uint64_t i = 0; i < std::min<std::uint64_t>(f1, 5000); ++i)
+      syms.push_back(s);
+    const std::uint64_t nx = f1 + f2;
+    f1 = f2;
+    f2 = nx;
+  }
+  EXPECT_EQ(roundtrip(syms), syms);
+}
+
+TEST(Huffman, TableSerializationRoundTrip) {
+  std::mt19937 rng(3);
+  std::vector<std::uint32_t> syms(5000);
+  for (auto& s : syms) s = rng() % 300;
+  const HuffmanTable table = huffman_build(syms);
+  const auto bytes = huffman_table_serialize(table);
+  const HuffmanTable back = huffman_table_deserialize(bytes);
+  EXPECT_EQ(back.symbols, table.symbols);
+  EXPECT_EQ(back.lengths, table.lengths);
+}
+
+TEST(Huffman, EncodeRejectsUnknownSymbol) {
+  const std::vector<std::uint32_t> syms = {1, 1, 2};
+  const HuffmanTable table = huffman_build(syms);
+  const std::vector<std::uint32_t> bad = {3};
+  EXPECT_THROW((void)huffman_encode(table, bad), std::invalid_argument);
+}
+
+TEST(Huffman, KraftInequalityHolds) {
+  std::mt19937 rng(4);
+  std::vector<std::uint32_t> syms(20000);
+  for (auto& s : syms) s = rng() % 1000;
+  const HuffmanTable table = huffman_build(syms);
+  long double kraft = 0;
+  for (const auto len : table.lengths) kraft += std::pow(2.0L, -int(len));
+  EXPECT_LE(kraft, 1.0L + 1e-12L);
+  // Optimal prefix code is complete.
+  EXPECT_NEAR(static_cast<double>(kraft), 1.0, 1e-9);
+}
+
+TEST(Huffman, CodeLengthsOrderedByFrequency) {
+  // More frequent symbols never get longer codes.
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 1000; ++i) syms.push_back(0);
+  for (int i = 0; i < 100; ++i) syms.push_back(1);
+  for (int i = 0; i < 10; ++i) syms.push_back(2);
+  const HuffmanTable table = huffman_build(syms);
+  ASSERT_EQ(table.symbols.size(), 3u);
+  EXPECT_LE(table.lengths[0], table.lengths[1]);
+  EXPECT_LE(table.lengths[1], table.lengths[2]);
+}
+
+TEST(Huffman, NearEntropyOnUniform) {
+  // 256 equally likely symbols -> exactly 8 bits/symbol.
+  std::vector<std::uint32_t> syms;
+  for (int rep = 0; rep < 64; ++rep)
+    for (std::uint32_t s = 0; s < 256; ++s) syms.push_back(s);
+  const HuffmanTable table = huffman_build(syms);
+  for (const auto len : table.lengths) EXPECT_EQ(len, 8);
+}
+
+class HuffmanParamTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint32_t>> {
+};
+
+TEST_P(HuffmanParamTest, RoundTripSizeAlphabetSweep) {
+  const auto [count, alphabet] = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(count + alphabet));
+  std::vector<std::uint32_t> syms(count);
+  for (auto& s : syms) s = rng() % alphabet;
+  EXPECT_EQ(roundtrip(syms), syms);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HuffmanParamTest,
+    ::testing::Values(std::pair<std::size_t, std::uint32_t>{1, 1},
+                      std::pair<std::size_t, std::uint32_t>{2, 2},
+                      std::pair<std::size_t, std::uint32_t>{100, 3},
+                      std::pair<std::size_t, std::uint32_t>{1000, 17},
+                      std::pair<std::size_t, std::uint32_t>{4096, 256},
+                      std::pair<std::size_t, std::uint32_t>{10000, 65536},
+                      std::pair<std::size_t, std::uint32_t>{65536, 65536}));
+
+}  // namespace
+}  // namespace tac::lossless

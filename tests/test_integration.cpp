@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "amr/uniform.hpp"
+#include "analysis/metrics.hpp"
+#include "core/adaptive.hpp"
+#include "core/baselines.hpp"
+#include "core/tac.hpp"
+#include "simnyx/generator.hpp"
+#include "sz/sz.hpp"
+
+/// Cross-product integration tests: every pre-process strategy combined
+/// with every error-bound mode, block size and predictor must satisfy the
+/// error-bound contract end to end.
+
+namespace tac {
+namespace {
+
+amr::AmrDataset dataset_with_density(double finest_density,
+                                     std::size_t n = 32) {
+  simnyx::GeneratorConfig gc;
+  gc.finest_dims = {n, n, n};
+  gc.level_densities = {finest_density, 1.0 - finest_density};
+  gc.region_size = 8;
+  gc.seed = 2026;
+  return simnyx::generate_baryon_density(gc);
+}
+
+/// Returns the worst error / bound ratio over all valid cells, where the
+/// bound is evaluated per the stream's mode.
+double worst_ratio(const amr::AmrDataset& orig, const amr::AmrDataset& recon,
+                   const core::CompressReport& report,
+                   sz::ErrorBoundMode mode, double eb) {
+  double worst = 0;
+  for (std::size_t l = 0; l < orig.num_levels(); ++l) {
+    const auto& ol = orig.level(l);
+    const auto& rl = recon.level(l);
+    double bound = 0;
+    if (mode == sz::ErrorBoundMode::kAbsolute) {
+      bound = eb;
+    } else if (mode == sz::ErrorBoundMode::kRelative) {
+      bound = l < report.levels.size() ? report.levels[l].abs_error_bound
+                                       : eb;
+    }
+    for (std::size_t i = 0; i < ol.data.size(); ++i) {
+      if (!ol.mask[i]) continue;
+      const double err = std::fabs(ol.data[i] - rl.data[i]);
+      const double b = mode == sz::ErrorBoundMode::kPointwiseRelative
+                           ? eb * std::fabs(ol.data[i])
+                           : bound;
+      if (b > 0) worst = std::max(worst, err / b);
+    }
+  }
+  return worst;
+}
+
+using Combo = std::tuple<core::Strategy, sz::ErrorBoundMode, std::size_t,
+                         sz::Predictor>;
+
+class StrategyModeMatrix : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(StrategyModeMatrix, ErrorBoundContractHolds) {
+  const auto [strategy, mode, block_size, predictor] = GetParam();
+  const auto ds = dataset_with_density(0.4);
+
+  core::TacConfig cfg;
+  cfg.sz.mode = mode;
+  cfg.sz.predictor = predictor;
+  cfg.sz.error_bound = mode == sz::ErrorBoundMode::kAbsolute ? 1e6 : 1e-3;
+  cfg.block_size = block_size;
+  cfg.force_strategy = strategy;
+
+  const auto compressed = core::tac_compress(ds, cfg);
+  const auto back = core::decompress_any(compressed.bytes);
+  const double ratio = worst_ratio(ds, back, compressed.report, mode,
+                                   cfg.sz.error_bound);
+  EXPECT_LE(ratio, 1.0 + 1e-9);
+}
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  const auto [strategy, mode, block, predictor] = info.param;
+  std::string name = core::to_string(strategy);
+  name += mode == sz::ErrorBoundMode::kAbsolute     ? "_abs"
+          : mode == sz::ErrorBoundMode::kRelative   ? "_rel"
+                                                    : "_pwrel";
+  name += "_b" + std::to_string(block);
+  name += predictor == sz::Predictor::kLorenzo ? "_lor" : "_hyb";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StrategyModeMatrix,
+    ::testing::Combine(
+        ::testing::Values(core::Strategy::kOpST, core::Strategy::kAKDTree,
+                          core::Strategy::kGSP),
+        ::testing::Values(sz::ErrorBoundMode::kAbsolute,
+                          sz::ErrorBoundMode::kRelative,
+                          sz::ErrorBoundMode::kPointwiseRelative),
+        ::testing::Values(std::size_t{4}, std::size_t{8}),
+        ::testing::Values(sz::Predictor::kLorenzo, sz::Predictor::kHybrid)),
+    combo_name);
+
+TEST(Integration, AllMethodsAgreeOnStructure) {
+  // Compress the same dataset with all four methods; reconstructions must
+  // agree exactly on structure and within 2x eb with each other.
+  const auto ds = dataset_with_density(0.3);
+  const sz::SzConfig scfg{.error_bound = 1e6};
+  core::TacConfig tcfg;
+  tcfg.sz = scfg;
+  const auto r_tac = core::decompress_any(core::tac_compress(ds, tcfg).bytes);
+  const auto r_1d = core::decompress_any(core::oned_compress(ds, scfg).bytes);
+  const auto r_zm =
+      core::decompress_any(core::zmesh_compress(ds, scfg).bytes);
+  const auto r_3d =
+      core::decompress_any(core::upsample3d_compress(ds, scfg).bytes);
+  for (std::size_t l = 0; l < ds.num_levels(); ++l) {
+    const auto& a = r_tac.level(l);
+    for (const auto* other : {&r_1d, &r_zm, &r_3d}) {
+      const auto& b = other->level(l);
+      ASSERT_EQ(a.mask, b.mask);
+      for (std::size_t i = 0; i < a.data.size(); ++i) {
+        if (a.mask[i]) {
+          EXPECT_LE(std::fabs(a.data[i] - b.data[i]), 2e6 + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(Integration, UniformCompositionMatchesLevelwiseBound) {
+  // The uniform view used for PSNR/post-analysis inherits the level-wise
+  // bound: every uniform cell is a replicated valid cell.
+  const auto ds = dataset_with_density(0.35);
+  core::TacConfig cfg;
+  cfg.sz.error_bound = 1e6;
+  const auto back = core::decompress_any(core::tac_compress(ds, cfg).bytes);
+  const auto u_orig = amr::compose_uniform(ds);
+  const auto u_back = amr::compose_uniform(back);
+  const auto stats = analysis::distortion(u_orig.span(), u_back.span());
+  EXPECT_LE(stats.max_abs_error, 1e6 + 1e-9);
+}
+
+TEST(Integration, StreamInfoByteBreakdownAddsUp) {
+  const Dims3 d{32, 32, 32};
+  std::vector<double> v(d.volume());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = std::sin(0.05 * static_cast<double>(i)) * 100.0 +
+           static_cast<double>(i % 13);
+  const auto bytes =
+      sz::compress<double>(v, d, sz::SzConfig{.error_bound = 0.01});
+  const auto info = sz::peek(bytes);
+  EXPECT_GT(info.huffman_bytes, 0u);
+  EXPECT_EQ(info.huffman_bytes + info.outlier_bytes + info.metadata_bytes,
+            bytes.size());
+}
+
+TEST(Integration, AdaptiveMatchesManualSelection) {
+  for (const double density : {0.2, 0.7}) {
+    const auto ds = dataset_with_density(density);
+    core::TacConfig cfg;
+    cfg.sz.error_bound = 1e6;
+    const auto method = core::adaptive_select(ds, cfg);
+    const auto compressed = core::adaptive_compress(ds, cfg);
+    EXPECT_EQ(compressed.report.method, method);
+    const auto manual = method == core::Method::kTac
+                            ? core::tac_compress(ds, cfg)
+                            : core::upsample3d_compress(ds, cfg.sz);
+    EXPECT_EQ(compressed.bytes, manual.bytes);
+  }
+}
+
+}  // namespace
+}  // namespace tac

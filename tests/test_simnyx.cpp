@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simnyx/generator.hpp"
+#include "simnyx/grf.hpp"
+
+namespace tac::simnyx {
+namespace {
+
+TEST(Grf, ZeroMeanUnitVariance) {
+  const auto f = gaussian_random_field({32, 32, 32}, {});
+  double sum = 0, sum2 = 0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    sum += f[i];
+    sum2 += f[i] * f[i];
+  }
+  const double n = static_cast<double>(f.size());
+  EXPECT_NEAR(sum / n, 0.0, 1e-10);
+  EXPECT_NEAR(sum2 / n, 1.0, 1e-6);
+}
+
+TEST(Grf, DeterministicInSeed) {
+  const GrfConfig cfg{.seed = 99};
+  const auto a = gaussian_random_field({16, 16, 16}, cfg);
+  const auto b = gaussian_random_field({16, 16, 16}, cfg);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Grf, DifferentSeedsDiffer) {
+  const auto a = gaussian_random_field({16, 16, 16}, {.seed = 1});
+  const auto b = gaussian_random_field({16, 16, 16}, {.seed = 2});
+  EXPECT_NE(a, b);
+}
+
+TEST(Grf, SteeperSpectrumIsSmoother) {
+  // Mean squared neighbour difference falls as the spectral index drops.
+  const auto rough =
+      gaussian_random_field({32, 32, 32}, {.spectral_index = -1.0, .seed = 5});
+  const auto smooth =
+      gaussian_random_field({32, 32, 32}, {.spectral_index = -3.5, .seed = 5});
+  const auto roughness = [](const Array3D<double>& f) {
+    const Dims3 d = f.dims();
+    double acc = 0;
+    for (std::size_t z = 0; z < d.nz; ++z)
+      for (std::size_t y = 0; y < d.ny; ++y)
+        for (std::size_t x = 1; x < d.nx; ++x) {
+          const double e = f(x, y, z) - f(x - 1, y, z);
+          acc += e * e;
+        }
+    return acc;
+  };
+  EXPECT_LT(roughness(smooth), roughness(rough));
+}
+
+TEST(Generator, TwoLevelStructureIsValidPartition) {
+  GeneratorConfig cfg;
+  cfg.finest_dims = {64, 64, 64};
+  cfg.level_densities = {0.23, 0.77};
+  const auto ds = generate_baryon_density(cfg);
+  EXPECT_EQ(ds.validate(), "");
+  EXPECT_EQ(ds.num_levels(), 2u);
+  EXPECT_EQ(ds.finest_dims(), (Dims3{64, 64, 64}));
+}
+
+TEST(Generator, HitsDensityTargets) {
+  GeneratorConfig cfg;
+  cfg.finest_dims = {64, 64, 64};
+  cfg.level_densities = {0.23, 0.77};
+  const auto ds = generate_baryon_density(cfg);
+  // Region granularity quantizes the density; 64/16 = 4 regions per axis
+  // -> 64 regions, so resolution is ~1.6%.
+  EXPECT_NEAR(ds.level(0).density(), 0.23, 0.02);
+  EXPECT_NEAR(ds.level(1).density(), 0.77, 0.02);
+}
+
+TEST(Generator, FourLevelStructureIsValidPartition) {
+  GeneratorConfig cfg;
+  cfg.finest_dims = {64, 64, 64};
+  cfg.level_densities = {0.01, 0.04, 0.2, 0.75};
+  cfg.region_size = 8;
+  const auto ds = generate_baryon_density(cfg);
+  EXPECT_EQ(ds.validate(), "");
+  EXPECT_EQ(ds.num_levels(), 4u);
+}
+
+TEST(Generator, DensityIsPositiveAndWideRange) {
+  GeneratorConfig cfg;
+  cfg.finest_dims = {32, 32, 32};
+  cfg.level_densities = {0.3, 0.7};
+  cfg.region_size = 8;
+  const auto ds = generate_baryon_density(cfg);
+  double lo = 1e300, hi = 0;
+  for (std::size_t l = 0; l < ds.num_levels(); ++l) {
+    const auto& lv = ds.level(l);
+    for (std::size_t i = 0; i < lv.data.size(); ++i) {
+      if (!lv.mask[i]) continue;
+      EXPECT_GT(lv.data[i], 0.0);
+      lo = std::min(lo, lv.data[i]);
+      hi = std::max(hi, lv.data[i]);
+    }
+  }
+  // Log-normal with sigma 2: several decades of dynamic range.
+  EXPECT_GT(hi / lo, 100.0);
+}
+
+TEST(Generator, RefinedRegionsHaveHigherValues) {
+  GeneratorConfig cfg;
+  cfg.finest_dims = {64, 64, 64};
+  cfg.level_densities = {0.2, 0.8};
+  const auto ds = generate_baryon_density(cfg);
+  const auto mean_of = [](const amr::AmrLevel& lv) {
+    double sum = 0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < lv.data.size(); ++i)
+      if (lv.mask[i]) {
+        sum += lv.data[i];
+        ++n;
+      }
+    return sum / static_cast<double>(n);
+  };
+  EXPECT_GT(mean_of(ds.level(0)), mean_of(ds.level(1)));
+}
+
+TEST(Generator, DeterministicInSeed) {
+  GeneratorConfig cfg;
+  cfg.finest_dims = {32, 32, 32};
+  cfg.level_densities = {0.4, 0.6};
+  cfg.region_size = 8;
+  const auto a = generate_baryon_density(cfg);
+  const auto b = generate_baryon_density(cfg);
+  for (std::size_t l = 0; l < a.num_levels(); ++l) {
+    EXPECT_EQ(a.level(l).data, b.level(l).data);
+    EXPECT_EQ(a.level(l).mask, b.level(l).mask);
+  }
+}
+
+TEST(Generator, RejectsBadRegionSize) {
+  GeneratorConfig cfg;
+  cfg.finest_dims = {64, 64, 64};
+  cfg.level_densities = {0.1, 0.2, 0.7};  // 3 levels need region % 4 == 0
+  cfg.region_size = 6;
+  EXPECT_THROW((void)generate_baryon_density(cfg), std::invalid_argument);
+}
+
+TEST(Generator, RejectsOverfullDensities) {
+  GeneratorConfig cfg;
+  cfg.finest_dims = {32, 32, 32};
+  cfg.level_densities = {1.5, 0.5};
+  cfg.region_size = 8;
+  EXPECT_THROW((void)generate_baryon_density(cfg), std::invalid_argument);
+}
+
+TEST(Generator, AllFieldsShareStructure) {
+  GeneratorConfig cfg;
+  cfg.finest_dims = {32, 32, 32};
+  cfg.level_densities = {0.3, 0.7};
+  cfg.region_size = 8;
+  const auto fields = generate_fields(cfg);
+  EXPECT_EQ(fields.baryon_density.validate(), "");
+  for (std::size_t l = 0; l < fields.baryon_density.num_levels(); ++l) {
+    EXPECT_EQ(fields.temperature.level(l).mask,
+              fields.baryon_density.level(l).mask);
+    EXPECT_EQ(fields.velocity_x.level(l).mask,
+              fields.baryon_density.level(l).mask);
+    EXPECT_EQ(fields.dark_matter_density.level(l).mask,
+              fields.baryon_density.level(l).mask);
+  }
+  // Velocities are signed; densities are not.
+  bool any_negative = false;
+  const auto& vx = fields.velocity_x.level(0);
+  for (std::size_t i = 0; i < vx.data.size(); ++i)
+    if (vx.mask[i] && vx.data[i] < 0) any_negative = true;
+  EXPECT_TRUE(any_negative);
+}
+
+TEST(Presets, SevenTable1Datasets) {
+  const auto presets = table1_presets();
+  ASSERT_EQ(presets.size(), 7u);
+  EXPECT_EQ(presets[0].name, "Run1_Z10");
+  EXPECT_EQ(presets[0].finest_dims, (Dims3{128, 128, 128}));
+  EXPECT_EQ(presets[6].name, "Run2_T4");
+  EXPECT_EQ(presets[6].level_densities.size(), 4u);
+  for (const auto& p : presets) {
+    double sum = 0;
+    for (const double d : p.level_densities) sum += d;
+    EXPECT_NEAR(sum, 1.0, 0.01) << p.name;
+  }
+}
+
+TEST(Presets, GenerateRun2T2Preset) {
+  const auto presets = table1_presets();
+  const auto ds = generate_preset(presets[4]);  // Run2_T2, 64^3 scaled
+  EXPECT_EQ(ds.validate(), "");
+  EXPECT_EQ(ds.num_levels(), 2u);
+  // Ultra-sparse finest level: floored at one region, still non-empty.
+  EXPECT_GT(ds.level(0).valid_count(), 0u);
+  EXPECT_GT(ds.level(1).density(), 0.9);
+}
+
+}  // namespace
+}  // namespace tac::simnyx

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "zfplike/transform_coder.hpp"
+
+namespace tac::zfplike {
+namespace {
+
+void expect_bounded(std::span<const double> orig,
+                    std::span<const double> recon, double eb) {
+  ASSERT_EQ(orig.size(), recon.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    if (std::isfinite(orig[i])) {
+      EXPECT_LE(std::fabs(orig[i] - recon[i]), eb) << "at " << i;
+    }
+  }
+}
+
+std::vector<double> smooth_field(Dims3 d, unsigned seed = 3) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> jitter(-0.01, 0.01);
+  std::vector<double> v(d.volume());
+  for (std::size_t z = 0; z < d.nz; ++z)
+    for (std::size_t y = 0; y < d.ny; ++y)
+      for (std::size_t x = 0; x < d.nx; ++x)
+        v[d.index(x, y, z)] =
+            std::sin(0.2 * static_cast<double>(x)) *
+                std::cos(0.1 * static_cast<double>(y + z)) +
+            jitter(rng);
+  return v;
+}
+
+TEST(Transform, ForwardInverseIdentity) {
+  std::mt19937 rng(1);
+  std::uniform_real_distribution<double> u(-100, 100);
+  double block[64], orig[64];
+  for (int i = 0; i < 64; ++i) orig[i] = block[i] = u(rng);
+  forward_transform(block);
+  inverse_transform(block);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_NEAR(block[i], orig[i], 1e-10 * std::fabs(orig[i]) + 1e-12);
+}
+
+TEST(Transform, ConstantBlockConcentratesInDc) {
+  double block[64];
+  std::fill(block, block + 64, 7.5);
+  forward_transform(block);
+  EXPECT_NEAR(block[0], 7.5, 1e-12);  // DC term = mean
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(block[i], 0.0, 1e-12);
+}
+
+TEST(Transform, LinearRampHasSparseSpectrum) {
+  // A ramp concentrates energy in DC + first-order terms; most of the 64
+  // coefficients must vanish — the decorrelation the coder relies on.
+  double block[64];
+  for (std::size_t z = 0; z < 4; ++z)
+    for (std::size_t y = 0; y < 4; ++y)
+      for (std::size_t x = 0; x < 4; ++x)
+        block[x + 4 * (y + 4 * z)] = static_cast<double>(x) +
+                                     2.0 * static_cast<double>(y) -
+                                     static_cast<double>(z);
+  forward_transform(block);
+  int nonzero = 0;
+  for (int i = 0; i < 64; ++i)
+    if (std::fabs(block[i]) > 1e-9) ++nonzero;
+  EXPECT_LE(nonzero, 16);
+}
+
+TEST(Coder, RoundTripWithinBound) {
+  const Dims3 d{32, 32, 32};
+  const auto v = smooth_field(d);
+  const TransformConfig cfg{.abs_error_bound = 1e-3};
+  const auto back = decompress(compress(v, d, cfg));
+  expect_bounded(v, back, 1e-3);
+}
+
+TEST(Coder, SmoothDataCompresses) {
+  const Dims3 d{64, 64, 64};
+  const auto v = smooth_field(d);
+  const TransformConfig cfg{.abs_error_bound = 1e-2};
+  const auto c = compress(v, d, cfg);
+  EXPECT_GT(static_cast<double>(v.size() * 8) /
+                static_cast<double>(c.size()),
+            8.0);
+}
+
+TEST(Coder, NonMultipleOfFourDims) {
+  const Dims3 d{13, 7, 5};
+  const auto v = smooth_field(d, 9);
+  const TransformConfig cfg{.abs_error_bound = 1e-3};
+  expect_bounded(v, decompress(compress(v, d, cfg)), 1e-3);
+}
+
+TEST(Coder, HugeDynamicRange) {
+  const Dims3 d{16, 16, 16};
+  std::mt19937 rng(5);
+  std::normal_distribution<double> g(0, 2);
+  std::vector<double> v(d.volume());
+  for (auto& x : v) x = 1e9 * std::exp(g(rng));
+  const TransformConfig cfg{.abs_error_bound = 1e5};
+  expect_bounded(v, decompress(compress(v, d, cfg)), 1e5);
+}
+
+TEST(Coder, NonFiniteValuesSurvive) {
+  const Dims3 d{8, 8, 8};
+  auto v = smooth_field(d, 7);
+  v[10] = std::numeric_limits<double>::quiet_NaN();
+  v[100] = std::numeric_limits<double>::infinity();
+  const TransformConfig cfg{.abs_error_bound = 1e-3};
+  const auto back = decompress(compress(v, d, cfg));
+  EXPECT_TRUE(std::isnan(back[10]));
+  EXPECT_TRUE(std::isinf(back[100]));
+  // Cells in the same blocks still meet the bound.
+  expect_bounded(v, back, 1e-3);
+}
+
+TEST(Coder, DeterministicOutput) {
+  const Dims3 d{16, 16, 16};
+  const auto v = smooth_field(d, 8);
+  const TransformConfig cfg{.abs_error_bound = 1e-4};
+  EXPECT_EQ(compress(v, d, cfg), compress(v, d, cfg));
+}
+
+TEST(Coder, RejectsBadBound) {
+  const Dims3 d{4, 4, 4};
+  const std::vector<double> v(64, 1.0);
+  EXPECT_THROW((void)compress(v, d, TransformConfig{.abs_error_bound = 0}),
+               std::invalid_argument);
+}
+
+TEST(Coder, TruncatedStreamThrows) {
+  const Dims3 d{16, 16, 16};
+  const auto v = smooth_field(d, 10);
+  auto c = compress(v, d, TransformConfig{.abs_error_bound = 1e-3});
+  c.resize(c.size() / 3);
+  EXPECT_THROW((void)decompress(c), std::exception);
+}
+
+class CoderBoundSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoderBoundSweep, BoundHolds) {
+  const Dims3 d{24, 24, 24};
+  const auto v = smooth_field(d, 11);
+  const TransformConfig cfg{.abs_error_bound = GetParam()};
+  expect_bounded(v, decompress(compress(v, d, cfg)), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, CoderBoundSweep,
+                         ::testing::Values(1e-6, 1e-4, 1e-2, 1.0));
+
+}  // namespace
+}  // namespace tac::zfplike
