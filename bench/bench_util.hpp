@@ -20,6 +20,7 @@
 #include "amr/uniform.hpp"
 #include "analysis/metrics.hpp"
 #include "core/adaptive.hpp"
+#include "core/backend.hpp"
 #include "core/baselines.hpp"
 #include "core/tac.hpp"
 #include "simnyx/generator.hpp"
@@ -38,33 +39,19 @@ struct RdPoint {
 
 /// Compress+decompress once with `method` and measure rate/distortion on
 /// the uniform-resolution reconstruction (how the paper evaluates all
-/// methods on common ground).
+/// methods on common ground). Any registered backend works — methods are
+/// resolved through the CompressorBackend registry.
 inline RdPoint measure_method(const amr::AmrDataset& ds,
                               const Array3D<double>& uniform_truth,
                               core::Method method, double abs_eb,
                               std::size_t block_size = 8) {
-  const sz::SzConfig scfg{.mode = sz::ErrorBoundMode::kAbsolute,
-                          .error_bound = abs_eb};
   core::TacConfig tcfg;
-  tcfg.sz = scfg;
+  tcfg.sz = {.mode = sz::ErrorBoundMode::kAbsolute, .error_bound = abs_eb};
   tcfg.block_size = block_size;
 
   Timer t;
-  core::CompressedAmr compressed;
-  switch (method) {
-    case core::Method::kTac:
-      compressed = core::tac_compress(ds, tcfg);
-      break;
-    case core::Method::kOneD:
-      compressed = core::oned_compress(ds, scfg);
-      break;
-    case core::Method::kZMesh:
-      compressed = core::zmesh_compress(ds, scfg);
-      break;
-    case core::Method::kUpsample3D:
-      compressed = core::upsample3d_compress(ds, scfg);
-      break;
-  }
+  const core::CompressedAmr compressed =
+      core::backend_for(method).compress(ds, tcfg);
   RdPoint p;
   p.compress_seconds = t.seconds();
   t.reset();

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "core/backend.hpp"
 
 namespace {
 
@@ -18,26 +19,12 @@ using namespace tac;
 
 double overall_throughput(const amr::AmrDataset& ds, core::Method method,
                           double abs_eb) {
-  const sz::SzConfig scfg{.mode = sz::ErrorBoundMode::kAbsolute,
-                          .error_bound = abs_eb};
   core::TacConfig tcfg;
-  tcfg.sz = scfg;
+  tcfg.sz = {.mode = sz::ErrorBoundMode::kAbsolute, .error_bound = abs_eb};
 
   Timer t;
-  core::CompressedAmr compressed;
-  switch (method) {
-    case core::Method::kTac:
-      compressed = core::tac_compress(ds, tcfg);
-      break;
-    case core::Method::kOneD:
-      compressed = core::oned_compress(ds, scfg);
-      break;
-    case core::Method::kUpsample3D:
-      compressed = core::upsample3d_compress(ds, scfg);
-      break;
-    default:
-      break;
-  }
+  const core::CompressedAmr compressed =
+      core::backend_for(method).compress(ds, tcfg);
   (void)core::decompress_any(compressed.bytes);
   const double secs = t.seconds();
   return throughput_mbs(ds.original_bytes(), secs);

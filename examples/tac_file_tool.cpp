@@ -21,7 +21,7 @@
 #include "analysis/metrics.hpp"
 #include "common/timer.hpp"
 #include "core/adaptive.hpp"
-#include "core/baselines.hpp"
+#include "core/backend.hpp"
 #include "simnyx/generator.hpp"
 
 namespace {
@@ -66,15 +66,16 @@ int cmd_compress(const std::string& in, const std::string& out,
   cfg.sz.error_bound = rel_eb;
 
   core::CompressedAmr compressed;
-  if (method == "tac")
+  if (method == "tac") {
     compressed = core::adaptive_compress(ds, cfg);
-  else if (method == "1d")
-    compressed = core::oned_compress(ds, cfg.sz);
-  else if (method == "zmesh")
-    compressed = core::zmesh_compress(ds, cfg.sz);
-  else if (method == "3d")
-    compressed = core::upsample3d_compress(ds, cfg.sz);
-  else {
+  } else if (method == "1d") {
+    compressed = core::backend_for(core::Method::kOneD).compress(ds, cfg);
+  } else if (method == "zmesh") {
+    compressed = core::backend_for(core::Method::kZMesh).compress(ds, cfg);
+  } else if (method == "3d") {
+    compressed =
+        core::backend_for(core::Method::kUpsample3D).compress(ds, cfg);
+  } else {
     std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
     return 2;
   }

@@ -7,37 +7,121 @@
 ///
 /// Uses OpenMP when compiled with it (the HPC-standard path), otherwise a
 /// std::thread block fan-out. Results must not depend on iteration order;
-/// every call site partitions disjoint output ranges.
+/// every call site partitions disjoint output ranges, so the worker count
+/// never changes what is computed — only how fast.
+///
+/// Loops nest (the level pipeline runs per-group compression inside
+/// per-level workers, which call into sz's internal loops): a single
+/// process-wide thread budget is divided across nesting levels, so an
+/// outer loop over 3 levels on a 16-core machine leaves ~5 workers for
+/// each level's inner loops instead of starving them or oversubscribing.
+///
+/// The worker count can be pinned with set_parallelism (or scoped via
+/// ParallelismGuard); the level-pipeline determinism tests sweep it to
+/// prove compressed containers are byte-identical at any thread count.
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
 namespace tac {
 
-/// Number of workers to use for data-parallel loops.
+namespace detail {
+inline std::atomic<unsigned>& parallelism_override() {
+  static std::atomic<unsigned> n{0};  // 0 = use the hardware count
+  return n;
+}
+
+/// Workers of an enclosing parallel_for carry the thread budget left for
+/// loops they run themselves; 0 means "not inside a loop, full budget".
+inline thread_local unsigned tl_nested_budget = 0;
+}  // namespace detail
+
+/// Number of workers to use for data-parallel loops: the pinned count if
+/// set_parallelism was called with a non-zero value, else the hardware
+/// concurrency.
 [[nodiscard]] inline unsigned hardware_parallelism() {
+  const unsigned pinned =
+      detail::parallelism_override().load(std::memory_order_relaxed);
+  if (pinned != 0) return pinned;
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
 }
 
+/// Pins the worker count for subsequent parallel_for calls (0 restores the
+/// hardware default). Thread-safe; affects the whole process.
+inline void set_parallelism(unsigned n) {
+  detail::parallelism_override().store(n, std::memory_order_relaxed);
+}
+
+/// RAII worker-count pin: restores the previous setting on destruction.
+class ParallelismGuard {
+ public:
+  explicit ParallelismGuard(unsigned n)
+      : previous_(detail::parallelism_override().load(
+            std::memory_order_relaxed)) {
+    set_parallelism(n);
+  }
+  ~ParallelismGuard() { set_parallelism(previous_); }
+  ParallelismGuard(const ParallelismGuard&) = delete;
+  ParallelismGuard& operator=(const ParallelismGuard&) = delete;
+
+ private:
+  unsigned previous_;
+};
+
 /// Runs body(i) for i in [begin, end) across threads. `grain` is the
-/// smallest worthwhile chunk; short loops run inline.
+/// smallest worthwhile chunk; short loops run inline. If any iteration
+/// throws, one of the thrown exceptions is rethrown on the calling thread
+/// after the loop completes (workers are never abandoned mid-flight).
 template <class Body>
 void parallel_for(std::size_t begin, std::size_t end, const Body& body,
                   std::size_t grain = 1024) {
   const std::size_t n = end > begin ? end - begin : 0;
   if (n == 0) return;
-  const unsigned max_threads = hardware_parallelism();
-  const std::size_t chunks = std::min<std::size_t>(max_threads, n / grain);
+  const unsigned budget = detail::tl_nested_budget != 0
+                              ? detail::tl_nested_budget
+                              : hardware_parallelism();
+  const std::size_t chunks = std::min<std::size_t>(budget, n / grain);
   if (chunks <= 1) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
+  // Budget left for loops the workers run themselves.
+  const unsigned sub_budget =
+      std::max<unsigned>(1, budget / static_cast<unsigned>(chunks));
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  const auto guarded = [&](std::size_t i) {
+    try {
+      body(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
+  };
 #if defined(_OPENMP)
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = begin; i < end; ++i) body(i);
+  // Nested regions are budgeted, not forbidden: an inner loop with
+  // sub_budget 1 never opens a region (chunks <= 1 above), so raising the
+  // active-level cap cannot oversubscribe.
+  if (!omp_in_parallel()) omp_set_max_active_levels(8);
+#pragma omp parallel num_threads(static_cast<int>(chunks))
+  {
+    // OpenMP pools and reuses threads, so save/restore the budget.
+    const unsigned saved = detail::tl_nested_budget;
+    detail::tl_nested_budget = sub_budget;
+#pragma omp for schedule(static)
+    for (std::size_t i = begin; i < end; ++i) guarded(i);
+    detail::tl_nested_budget = saved;
+  }
 #else
   std::vector<std::thread> workers;
   workers.reserve(chunks);
@@ -45,12 +129,14 @@ void parallel_for(std::size_t begin, std::size_t end, const Body& body,
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * per;
     const std::size_t hi = (c + 1 == chunks) ? end : lo + per;
-    workers.emplace_back([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
+    workers.emplace_back([lo, hi, &guarded, sub_budget] {
+      detail::tl_nested_budget = sub_budget;
+      for (std::size_t i = lo; i < hi; ++i) guarded(i);
     });
   }
   for (auto& w : workers) w.join();
 #endif
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace tac

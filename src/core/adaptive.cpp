@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "core/baselines.hpp"
+#include "core/backend.hpp"
 #include "core/block_grid.hpp"
 
 namespace tac::core {
@@ -18,9 +18,7 @@ Method adaptive_select(const amr::AmrDataset& ds, const TacConfig& cfg) {
 
 CompressedAmr adaptive_compress(const amr::AmrDataset& ds,
                                 const TacConfig& cfg) {
-  const Method m = adaptive_select(ds, cfg);
-  if (m == Method::kUpsample3D) return upsample3d_compress(ds, cfg.sz);
-  return tac_compress(ds, cfg);
+  return backend_for(adaptive_select(ds, cfg)).compress(ds, cfg);
 }
 
 std::vector<double> ratio_error_bounds(double finest_eb,

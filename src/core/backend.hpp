@@ -1,0 +1,78 @@
+#ifndef TAC_CORE_BACKEND_HPP
+#define TAC_CORE_BACKEND_HPP
+
+/// \file backend.hpp
+/// \brief The pluggable compression-backend interface and its registry.
+///
+/// Every compression method — TAC itself and the §4.1 baselines today,
+/// MGARD-style or TAC+ tree-partitioning backends tomorrow — implements
+/// CompressorBackend and registers under its Method tag. Containers are
+/// self-describing: `decompress_any` reads the common header and hands the
+/// payload to whichever backend owns the tag, so adding a method never
+/// touches existing call sites.
+///
+/// Contract: `compress` writes the common outer header (via
+/// `write_common_header` with this backend's tag) followed by a payload
+/// only this backend can read; `decompress` receives the reader positioned
+/// at that payload plus the structural skeleton decoded from the header,
+/// and must fill every level's data. Backends must be stateless and
+/// thread-safe — the snapshot codec compresses fields concurrently through
+/// one shared instance.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/tac.hpp"
+
+namespace tac::core {
+
+class CompressorBackend {
+ public:
+  virtual ~CompressorBackend() = default;
+
+  /// The container tag this backend owns.
+  [[nodiscard]] virtual Method method() const = 0;
+
+  /// Human-readable name (diagnostics, tooling).
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Compresses a dataset into a self-describing container. Baseline
+  /// backends read only `cfg.sz`; TAC-family backends use the full config.
+  [[nodiscard]] virtual CompressedAmr compress(const amr::AmrDataset& ds,
+                                               const TacConfig& cfg) const = 0;
+
+  /// Decodes this backend's payload into the skeleton (structure decoded
+  /// from the common header, data arrays zeroed) and returns the filled
+  /// dataset. `r` is positioned immediately after the common header.
+  [[nodiscard]] virtual amr::AmrDataset decompress(
+      ByteReader& r, amr::AmrDataset skeleton) const = 0;
+};
+
+/// Registers a backend under its Method tag. Throws std::invalid_argument
+/// on a duplicate tag or a null backend. Thread-safe.
+void register_backend(std::unique_ptr<CompressorBackend> backend);
+
+/// The backend owning `m`. Throws std::runtime_error with the offending
+/// tag value when nothing is registered. Thread-safe.
+[[nodiscard]] const CompressorBackend& backend_for(Method m);
+
+/// Like backend_for, but returns nullptr instead of throwing.
+[[nodiscard]] const CompressorBackend* find_backend(Method m) noexcept;
+
+/// Tags with a registered backend, ascending.
+[[nodiscard]] std::vector<Method> registered_methods();
+
+namespace detail {
+// Built-in backend factories (defined next to each method's
+// implementation); the registry installs them on first use.
+[[nodiscard]] std::unique_ptr<CompressorBackend> make_tac_backend();
+[[nodiscard]] std::unique_ptr<CompressorBackend> make_oned_backend();
+[[nodiscard]] std::unique_ptr<CompressorBackend> make_zmesh_backend();
+[[nodiscard]] std::unique_ptr<CompressorBackend> make_upsample3d_backend();
+}  // namespace detail
+
+}  // namespace tac::core
+
+#endif  // TAC_CORE_BACKEND_HPP

@@ -1,28 +1,16 @@
 #include "core/baselines.hpp"
 
-#include <cmath>
 #include <stdexcept>
 
 #include "amr/uniform.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "core/backend.hpp"
+#include "sz/resolve.hpp"
 #include "sz/sz.hpp"
 
 namespace tac::core {
 namespace {
-
-/// Resolves a relative bound against an explicit range, falling back to
-/// sz's internal lossless path when the range is degenerate.
-sz::SzConfig resolve_against_range(const sz::SzConfig& cfg, double lo,
-                                   double hi) {
-  if (cfg.mode != sz::ErrorBoundMode::kRelative) return cfg;
-  sz::SzConfig out = cfg;
-  const double abs_eb = cfg.error_bound * (hi - lo);
-  if (abs_eb > 0 && std::isfinite(abs_eb)) {
-    out.mode = sz::ErrorBoundMode::kAbsolute;
-    out.error_bound = abs_eb;
-  }
-  return out;
-}
 
 std::pair<double, double> dataset_valid_range(const amr::AmrDataset& ds) {
   bool any = false;
@@ -68,7 +56,209 @@ void zmesh_traverse(const amr::AmrDataset& ds, auto&& emit) {
         visit_zmesh(ds, coarsest, x, y, z, emit);
 }
 
+class OneDBackend final : public CompressorBackend {
+ public:
+  [[nodiscard]] Method method() const override { return Method::kOneD; }
+  [[nodiscard]] const char* name() const override { return "1D"; }
+
+  [[nodiscard]] CompressedAmr compress(const amr::AmrDataset& ds,
+                                       const TacConfig& cfg) const override {
+    Timer total;
+    CompressReport report;
+    report.method = Method::kOneD;
+    report.original_bytes = ds.original_bytes();
+
+    // Per-level 1D streams are independent — run them through the same
+    // level pipeline as TAC and serialize in level order.
+    struct LevelOutput {
+      std::vector<std::uint8_t> stream;
+      LevelReport report;
+    };
+    std::vector<LevelOutput> levels(ds.num_levels());
+    parallel_for(
+        0, ds.num_levels(),
+        [&](std::size_t l) {
+          const amr::AmrLevel& lv = ds.level(l);
+          LevelOutput& out = levels[l];
+          out.report.valid_cells = lv.valid_count();
+          const auto [lo, hi] = lv.valid_range();
+          const sz::SzConfig level_cfg =
+              sz::resolve_range_bound(cfg.sz, lo, hi);
+
+          Timer comp;
+          const auto values = lv.gather_valid();
+          if (!values.empty()) {
+            out.stream = sz::compress<double>(
+                values, Dims3{values.size(), 1, 1}, level_cfg);
+            out.report.abs_error_bound =
+                sz::peek(out.stream).abs_error_bound;
+          }
+          out.report.compress_seconds = comp.seconds();
+        },
+        /*grain=*/1);
+
+    ByteWriter w;
+    write_common_header(w, Method::kOneD, ds);
+    for (auto& lvl : levels) {
+      const std::size_t before = w.size();
+      w.put_blob(lvl.stream);
+      lvl.report.compressed_bytes = w.size() - before;
+      report.levels.push_back(lvl.report);
+    }
+
+    CompressedAmr out;
+    out.bytes = w.take();
+    report.compressed_bytes = out.bytes.size();
+    report.seconds = total.seconds();
+    out.report = std::move(report);
+    return out;
+  }
+
+  [[nodiscard]] amr::AmrDataset decompress(
+      ByteReader& r, amr::AmrDataset skeleton) const override {
+    for (std::size_t l = 0; l < skeleton.num_levels(); ++l) {
+      amr::AmrLevel& lv = skeleton.level(l);
+      const auto stream = r.get_blob();
+      if (stream.empty()) {
+        lv.scatter_valid({});
+      } else {
+        const auto values = sz::decompress<double>(stream);
+        lv.scatter_valid(values);
+      }
+    }
+    return skeleton;
+  }
+};
+
+class ZMeshBackend final : public CompressorBackend {
+ public:
+  [[nodiscard]] Method method() const override { return Method::kZMesh; }
+  [[nodiscard]] const char* name() const override { return "zMesh"; }
+
+  [[nodiscard]] CompressedAmr compress(const amr::AmrDataset& ds,
+                                       const TacConfig& cfg) const override {
+    Timer total;
+    ByteWriter w;
+    write_common_header(w, Method::kZMesh, ds);
+
+    CompressReport report;
+    report.method = Method::kZMesh;
+    report.original_bytes = ds.original_bytes();
+
+    Timer pre;
+    const auto values = zmesh_gather(ds);
+    const double pre_secs = pre.seconds();
+
+    const auto [lo, hi] = dataset_valid_range(ds);
+    const sz::SzConfig stream_cfg = sz::resolve_range_bound(cfg.sz, lo, hi);
+
+    LevelReport lr;  // single interleaved stream: reported as one entry
+    lr.valid_cells = values.size();
+    lr.preprocess_seconds = pre_secs;
+    Timer comp;
+    if (values.empty()) {
+      w.put_blob({});
+    } else {
+      const auto stream = sz::compress<double>(
+          values, Dims3{values.size(), 1, 1}, stream_cfg);
+      lr.abs_error_bound = sz::peek(stream).abs_error_bound;
+      w.put_blob(stream);
+    }
+    lr.compress_seconds = comp.seconds();
+
+    CompressedAmr out;
+    out.bytes = w.take();
+    lr.compressed_bytes = out.bytes.size();
+    report.levels.push_back(lr);
+    report.compressed_bytes = out.bytes.size();
+    report.seconds = total.seconds();
+    out.report = std::move(report);
+    return out;
+  }
+
+  [[nodiscard]] amr::AmrDataset decompress(
+      ByteReader& r, amr::AmrDataset skeleton) const override {
+    const auto stream = r.get_blob();
+    if (stream.empty()) return skeleton;
+    const auto values = sz::decompress<double>(stream);
+    zmesh_scatter(skeleton, values);
+    return skeleton;
+  }
+};
+
+class Upsample3DBackend final : public CompressorBackend {
+ public:
+  [[nodiscard]] Method method() const override { return Method::kUpsample3D; }
+  [[nodiscard]] const char* name() const override { return "3D"; }
+
+  [[nodiscard]] CompressedAmr compress(const amr::AmrDataset& ds,
+                                       const TacConfig& cfg) const override {
+    Timer total;
+    ByteWriter w;
+    write_common_header(w, Method::kUpsample3D, ds);
+
+    CompressReport report;
+    report.method = Method::kUpsample3D;
+    report.original_bytes = ds.original_bytes();
+
+    Timer pre;
+    const Array3D<double> uniform = amr::compose_uniform(ds);
+    LevelReport lr;
+    lr.valid_cells = ds.total_valid();
+    lr.preprocess_seconds = pre.seconds();
+
+    const auto [lo, hi] = dataset_valid_range(ds);
+    const sz::SzConfig stream_cfg = sz::resolve_range_bound(cfg.sz, lo, hi);
+
+    Timer comp;
+    const auto stream =
+        sz::compress<double>(uniform.span(), uniform.dims(), stream_cfg);
+    lr.compress_seconds = comp.seconds();
+    lr.abs_error_bound = sz::peek(stream).abs_error_bound;
+    w.put_blob(stream);
+
+    CompressedAmr out;
+    out.bytes = w.take();
+    lr.compressed_bytes = out.bytes.size();
+    report.levels.push_back(lr);
+    report.compressed_bytes = out.bytes.size();
+    report.seconds = total.seconds();
+    out.report = std::move(report);
+    return out;
+  }
+
+  [[nodiscard]] amr::AmrDataset decompress(
+      ByteReader& r, amr::AmrDataset skeleton) const override {
+    const auto stream = r.get_blob();
+    const auto flat = sz::decompress<double>(stream);
+    const Dims3 fd = skeleton.finest_dims();
+    if (flat.size() != fd.volume())
+      throw std::runtime_error("3D baseline: payload size mismatch");
+    const Array3D<double> uniform(fd, std::vector<double>(flat));
+    amr::distribute_uniform(uniform, skeleton);
+    return skeleton;
+  }
+};
+
+TacConfig sz_only(const sz::SzConfig& cfg) {
+  TacConfig out;
+  out.sz = cfg;
+  return out;
+}
+
 }  // namespace
+
+namespace detail {
+std::unique_ptr<CompressorBackend> make_oned_backend() {
+  return std::make_unique<OneDBackend>();
+}
+std::unique_ptr<CompressorBackend> make_zmesh_backend() {
+  return std::make_unique<ZMeshBackend>();
+}
+std::unique_ptr<CompressorBackend> make_upsample3d_backend() {
+  return std::make_unique<Upsample3DBackend>();
+}
+}  // namespace detail
 
 std::vector<double> zmesh_gather(const amr::AmrDataset& ds) {
   std::vector<double> out;
@@ -94,158 +284,17 @@ void zmesh_scatter(amr::AmrDataset& ds, std::span<const double> values) {
 
 CompressedAmr oned_compress(const amr::AmrDataset& ds,
                             const sz::SzConfig& cfg) {
-  Timer total;
-  ByteWriter w;
-  write_common_header(w, Method::kOneD, ds);
-
-  CompressReport report;
-  report.method = Method::kOneD;
-  report.original_bytes = ds.original_bytes();
-
-  for (std::size_t l = 0; l < ds.num_levels(); ++l) {
-    const amr::AmrLevel& lv = ds.level(l);
-    LevelReport lr;
-    lr.valid_cells = lv.valid_count();
-    const auto [lo, hi] = lv.valid_range();
-    const sz::SzConfig level_cfg = resolve_against_range(cfg, lo, hi);
-
-    Timer comp;
-    const auto values = lv.gather_valid();
-    const std::size_t before = w.size();
-    if (values.empty()) {
-      w.put_blob({});
-    } else {
-      const auto stream = sz::compress<double>(
-          values, Dims3{values.size(), 1, 1}, level_cfg);
-      lr.abs_error_bound = sz::peek(stream).abs_error_bound;
-      w.put_blob(stream);
-    }
-    lr.compress_seconds = comp.seconds();
-    lr.compressed_bytes = w.size() - before;
-    report.levels.push_back(lr);
-  }
-
-  CompressedAmr out;
-  out.bytes = w.take();
-  report.compressed_bytes = out.bytes.size();
-  report.seconds = total.seconds();
-  out.report = std::move(report);
-  return out;
+  return backend_for(Method::kOneD).compress(ds, sz_only(cfg));
 }
 
 CompressedAmr zmesh_compress(const amr::AmrDataset& ds,
                              const sz::SzConfig& cfg) {
-  Timer total;
-  ByteWriter w;
-  write_common_header(w, Method::kZMesh, ds);
-
-  CompressReport report;
-  report.method = Method::kZMesh;
-  report.original_bytes = ds.original_bytes();
-
-  Timer pre;
-  const auto values = zmesh_gather(ds);
-  const double pre_secs = pre.seconds();
-
-  const auto [lo, hi] = dataset_valid_range(ds);
-  const sz::SzConfig stream_cfg = resolve_against_range(cfg, lo, hi);
-
-  LevelReport lr;  // single interleaved stream: reported as one entry
-  lr.valid_cells = values.size();
-  lr.preprocess_seconds = pre_secs;
-  Timer comp;
-  if (values.empty()) {
-    w.put_blob({});
-  } else {
-    const auto stream =
-        sz::compress<double>(values, Dims3{values.size(), 1, 1}, stream_cfg);
-    lr.abs_error_bound = sz::peek(stream).abs_error_bound;
-    w.put_blob(stream);
-  }
-  lr.compress_seconds = comp.seconds();
-
-  CompressedAmr out;
-  out.bytes = w.take();
-  lr.compressed_bytes = out.bytes.size();
-  report.levels.push_back(lr);
-  report.compressed_bytes = out.bytes.size();
-  report.seconds = total.seconds();
-  out.report = std::move(report);
-  return out;
+  return backend_for(Method::kZMesh).compress(ds, sz_only(cfg));
 }
 
 CompressedAmr upsample3d_compress(const amr::AmrDataset& ds,
                                   const sz::SzConfig& cfg) {
-  Timer total;
-  ByteWriter w;
-  write_common_header(w, Method::kUpsample3D, ds);
-
-  CompressReport report;
-  report.method = Method::kUpsample3D;
-  report.original_bytes = ds.original_bytes();
-
-  Timer pre;
-  const Array3D<double> uniform = amr::compose_uniform(ds);
-  LevelReport lr;
-  lr.valid_cells = ds.total_valid();
-  lr.preprocess_seconds = pre.seconds();
-
-  const auto [lo, hi] = dataset_valid_range(ds);
-  const sz::SzConfig stream_cfg = resolve_against_range(cfg, lo, hi);
-
-  Timer comp;
-  const auto stream =
-      sz::compress<double>(uniform.span(), uniform.dims(), stream_cfg);
-  lr.compress_seconds = comp.seconds();
-  lr.abs_error_bound = sz::peek(stream).abs_error_bound;
-  w.put_blob(stream);
-
-  CompressedAmr out;
-  out.bytes = w.take();
-  lr.compressed_bytes = out.bytes.size();
-  report.levels.push_back(lr);
-  report.compressed_bytes = out.bytes.size();
-  report.seconds = total.seconds();
-  out.report = std::move(report);
-  return out;
-}
-
-amr::AmrDataset baselines_decompress(Method method, ByteReader& r,
-                                     amr::AmrDataset skeleton) {
-  switch (method) {
-    case Method::kOneD: {
-      for (std::size_t l = 0; l < skeleton.num_levels(); ++l) {
-        amr::AmrLevel& lv = skeleton.level(l);
-        const auto stream = r.get_blob();
-        if (stream.empty()) {
-          lv.scatter_valid({});
-        } else {
-          const auto values = sz::decompress<double>(stream);
-          lv.scatter_valid(values);
-        }
-      }
-      return skeleton;
-    }
-    case Method::kZMesh: {
-      const auto stream = r.get_blob();
-      if (stream.empty()) return skeleton;
-      const auto values = sz::decompress<double>(stream);
-      zmesh_scatter(skeleton, values);
-      return skeleton;
-    }
-    case Method::kUpsample3D: {
-      const auto stream = r.get_blob();
-      const auto flat = sz::decompress<double>(stream);
-      const Dims3 fd = skeleton.finest_dims();
-      if (flat.size() != fd.volume())
-        throw std::runtime_error("3D baseline: payload size mismatch");
-      const Array3D<double> uniform(fd, std::vector<double>(flat));
-      amr::distribute_uniform(uniform, skeleton);
-      return skeleton;
-    }
-    default:
-      throw std::runtime_error("baselines_decompress: not a baseline tag");
-  }
+  return backend_for(Method::kUpsample3D).compress(ds, sz_only(cfg));
 }
 
 }  // namespace tac::core

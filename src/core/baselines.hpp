@@ -12,6 +12,9 @@
 ///     (Figure 16a); and
 /// (3) the 3D baseline: up-sample every coarse level to the finest
 ///     resolution and compress the merged uniform grid in 3D.
+///
+/// Each baseline is a registered CompressorBackend (see core/backend.hpp);
+/// the functions below are convenience wrappers over the registry.
 
 #include "amr/dataset.hpp"
 #include "common/bytes.hpp"
@@ -37,11 +40,6 @@ namespace tac::core {
 /// ordering-smoothness experiment of Figure 16).
 [[nodiscard]] std::vector<double> zmesh_gather(const amr::AmrDataset& ds);
 void zmesh_scatter(amr::AmrDataset& ds, std::span<const double> values);
-
-/// Payload decoder used by decompress_any.
-[[nodiscard]] amr::AmrDataset baselines_decompress(Method method,
-                                                   ByteReader& r,
-                                                   amr::AmrDataset skeleton);
 
 }  // namespace tac::core
 

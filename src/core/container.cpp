@@ -1,14 +1,43 @@
 #include "core/container.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "amr/amr_io.hpp"
+#include "core/backend.hpp"
 #include "lossless/codec.hpp"
 
 namespace tac::core {
 namespace {
 constexpr std::uint32_t kMagic = 0x43434154;  // "TACC"
-constexpr std::uint8_t kVersion = 1;
+
+// magic + version + method — the fixed prefix every container starts with.
+constexpr std::size_t kHeaderPrefixBytes =
+    sizeof(std::uint32_t) + 2 * sizeof(std::uint8_t);
+
+/// Decodes the fixed header prefix with descriptive errors: wrong magic,
+/// unsupported version and unregistered method tags each say what was
+/// found, and short buffers never read past the span.
+Method read_header_prefix(ByteReader& r) {
+  if (r.remaining() < kHeaderPrefixBytes)
+    throw std::runtime_error(
+        "container: truncated header (" + std::to_string(r.remaining()) +
+        " bytes, need at least " + std::to_string(kHeaderPrefixBytes) + ")");
+  if (r.get<std::uint32_t>() != kMagic)
+    throw std::runtime_error("container: bad magic (not a TAC container)");
+  const auto version = r.get<std::uint8_t>();
+  if (version != kFormatVersion)
+    throw std::runtime_error(
+        "container: unsupported format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kFormatVersion) + ")");
+  const auto tag = r.get<std::uint8_t>();
+  if (find_backend(static_cast<Method>(tag)) == nullptr)
+    throw std::runtime_error(
+        "container: unknown method tag " + std::to_string(tag) +
+        " (no registered compressor backend)");
+  return static_cast<Method>(tag);
+}
+
 }  // namespace
 
 const char* to_string(Method m) {
@@ -35,7 +64,7 @@ const char* to_string(Strategy s) {
 void write_common_header(ByteWriter& w, Method method,
                          const amr::AmrDataset& ds) {
   w.put<std::uint32_t>(kMagic);
-  w.put<std::uint8_t>(kVersion);
+  w.put<std::uint8_t>(kFormatVersion);
   w.put<std::uint8_t>(static_cast<std::uint8_t>(method));
   w.put_string(ds.field_name());
   w.put_varint(static_cast<std::uint64_t>(ds.refinement_ratio()));
@@ -51,12 +80,8 @@ void write_common_header(ByteWriter& w, Method method,
 }
 
 CommonHeader read_common_header(ByteReader& r) {
-  if (r.get<std::uint32_t>() != kMagic)
-    throw std::runtime_error("container: bad magic");
-  if (r.get<std::uint8_t>() != kVersion)
-    throw std::runtime_error("container: unsupported version");
   CommonHeader h;
-  h.method = static_cast<Method>(r.get<std::uint8_t>());
+  h.method = read_header_prefix(r);
   const std::string field = r.get_string();
   const int ratio = static_cast<int>(r.get_varint());
   const std::size_t nlevels = static_cast<std::size_t>(r.get_varint());
@@ -79,10 +104,7 @@ CommonHeader read_common_header(ByteReader& r) {
 
 Method peek_method(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
-  if (r.get<std::uint32_t>() != kMagic)
-    throw std::runtime_error("container: bad magic");
-  (void)r.get<std::uint8_t>();
-  return static_cast<Method>(r.get<std::uint8_t>());
+  return read_header_prefix(r);
 }
 
 }  // namespace tac::core

@@ -8,7 +8,10 @@
 /// baseline) emits the same outer header — method tag, field name,
 /// refinement ratio and the losslessly-stored per-level masks (the AMR
 /// structure metadata real snapshot formats keep exactly) — followed by a
-/// method-specific payload. `decompress_any` dispatches on the tag.
+/// method-specific payload. `decompress_any` dispatches on the tag via the
+/// CompressorBackend registry (core/backend.hpp); headers with an unknown
+/// tag, a bad magic, an unsupported format version or a truncated buffer
+/// are rejected with descriptive errors.
 
 #include <cstdint>
 #include <span>
@@ -37,6 +40,11 @@ enum class Strategy : std::uint8_t {
 
 [[nodiscard]] const char* to_string(Method m);
 [[nodiscard]] const char* to_string(Strategy s);
+
+/// On-disk container format version. Bumped whenever the serialized layout
+/// changes; readers reject containers written by a different version with
+/// a descriptive error instead of misparsing them.
+inline constexpr std::uint8_t kFormatVersion = 1;
 
 /// Writes the outer header: method, field, ratio and level masks.
 void write_common_header(ByteWriter& w, Method method,

@@ -2,6 +2,7 @@
 
 #include "amr/snapshot.hpp"
 #include "common/bytes.hpp"
+#include "common/parallel.hpp"
 #include "core/adaptive.hpp"
 #include "core/tac.hpp"
 
@@ -15,14 +16,20 @@ std::vector<std::uint8_t> compress_snapshot(const amr::Snapshot& s,
                                             const TacConfig& cfg) {
   if (s.fields.empty())
     throw std::invalid_argument("compress_snapshot: no fields");
+  // Fields are independent containers: compress them concurrently and
+  // serialize in field order so the snapshot bytes stay deterministic.
+  std::vector<std::vector<std::uint8_t>> blobs(s.fields.size());
+  parallel_for(
+      0, s.fields.size(),
+      [&](std::size_t i) {
+        blobs[i] = adaptive_compress(s.fields[i], cfg).bytes;
+      },
+      /*grain=*/1);
   ByteWriter w;
   w.put<std::uint32_t>(kMagic);
   w.put<std::uint8_t>(kVersion);
   w.put_varint(s.fields.size());
-  for (const auto& ds : s.fields) {
-    const auto compressed = adaptive_compress(ds, cfg);
-    w.put_blob(compressed.bytes);
-  }
+  for (const auto& blob : blobs) w.put_blob(blob);
   return w.take();
 }
 

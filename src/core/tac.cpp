@@ -1,12 +1,14 @@
 #include "core/tac.hpp"
 
-#include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
-#include "core/baselines.hpp"
+#include "core/backend.hpp"
 #include "core/extraction.hpp"
 #include "core/gsp.hpp"
+#include "sz/resolve.hpp"
 #include "sz/sz.hpp"
 
 namespace tac::core {
@@ -17,23 +19,17 @@ namespace {
 /// bound (a per-group range would silently vary the bound inside a level).
 sz::SzConfig resolve_level_config(const TacConfig& cfg, std::size_t level,
                                   const amr::AmrLevel& lv) {
-  sz::SzConfig out = cfg.sz;
   if (!cfg.level_error_bounds.empty()) {
+    sz::SzConfig out = cfg.sz;
     out.mode = sz::ErrorBoundMode::kAbsolute;
     out.error_bound = cfg.level_error_bounds.at(level);
     return out;
   }
   if (cfg.sz.mode == sz::ErrorBoundMode::kRelative) {
     const auto [lo, hi] = lv.valid_range();
-    const double abs_eb = cfg.sz.error_bound * (hi - lo);
-    if (abs_eb > 0 && std::isfinite(abs_eb)) {
-      out.mode = sz::ErrorBoundMode::kAbsolute;
-      out.error_bound = abs_eb;
-    }
-    // Degenerate range: leave kRelative; the sz layer falls back to its
-    // lossless outlier path.
+    return sz::resolve_range_bound(cfg.sz, lo, hi);
   }
-  return out;
+  return cfg.sz;
 }
 
 void serialize_groups(ByteWriter& w, const std::vector<BlockGroup>& groups,
@@ -98,7 +94,183 @@ void apply_mask(amr::AmrLevel& lv) {
     if (!lv.mask[i]) lv.data[i] = 0.0;
 }
 
+/// One level's finished output: its container chunk plus diagnostics.
+/// Levels are independent, so the pipeline produces these concurrently and
+/// concatenates the chunks in level order — byte-identical to a serial
+/// run at any thread count.
+struct LevelOutput {
+  std::vector<std::uint8_t> bytes;
+  LevelReport report;
+};
+
+LevelOutput compress_level(const amr::AmrDataset& ds, std::size_t level,
+                           const TacConfig& cfg) {
+  const amr::AmrLevel& lv = ds.level(level);
+  LevelOutput out;
+  LevelReport& lr = out.report;
+  lr.valid_cells = lv.valid_count();
+
+  Timer pre;
+  const BlockGrid grid(lv.dims(), cfg.block_size);
+  const auto occ = block_occupancy(lv, grid);
+  lr.block_density = occupancy_density(occ);
+  lr.strategy = cfg.force_strategy.value_or(
+      select_strategy(lr.block_density, cfg.t1, cfg.t2));
+
+  const sz::SzConfig level_cfg = resolve_level_config(cfg, level, lv);
+
+  ByteWriter w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(lr.strategy));
+  w.put_varint(cfg.block_size);
+
+  const std::size_t bytes_before = w.size();
+  switch (lr.strategy) {
+    case Strategy::kNaST:
+    case Strategy::kOpST:
+    case Strategy::kAKDTree: {
+      std::vector<SubBlock> subs;
+      if (lr.strategy == Strategy::kNaST)
+        subs = nast_extract(occ);
+      else if (lr.strategy == Strategy::kOpST)
+        subs = opst_extract(occ);
+      else
+        subs = akdtree_extract(occ);
+      auto groups = gather_groups(lv, grid, subs);
+      lr.preprocess_seconds = pre.seconds();
+      lr.n_sub_blocks = subs.size();
+      lr.n_groups = groups.size();
+
+      Timer comp;
+      // The per-extent group streams are independent: compress them
+      // concurrently, then serialize in group order so the container
+      // stays deterministic.
+      std::vector<std::vector<std::uint8_t>> streams(groups.size());
+      parallel_for(
+          0, groups.size(),
+          [&](std::size_t g) {
+            streams[g] = sz::compress<double>(groups[g].buffer,
+                                              groups[g].block_cell_dims,
+                                              level_cfg,
+                                              groups[g].members.size());
+          },
+          /*grain=*/1);
+      if (!streams.empty())
+        lr.abs_error_bound = sz::peek(streams.back()).abs_error_bound;
+      lr.compress_seconds = comp.seconds();
+      serialize_groups(w, groups, streams);
+      break;
+    }
+    case Strategy::kGSP:
+    case Strategy::kZF: {
+      const Array3D<double> padded = lr.strategy == Strategy::kGSP
+                                         ? gsp_pad(lv, grid, occ)
+                                         : zf_pad(lv);
+      lr.preprocess_seconds = pre.seconds();
+      lr.n_groups = 1;
+
+      Timer comp;
+      const auto stream =
+          sz::compress<double>(padded.span(), padded.dims(), level_cfg);
+      lr.compress_seconds = comp.seconds();
+      lr.abs_error_bound = sz::peek(stream).abs_error_bound;
+      w.put_blob(stream);
+      break;
+    }
+  }
+  lr.compressed_bytes = w.size() - bytes_before;
+  out.bytes = w.take();
+  return out;
+}
+
+class TacBackend final : public CompressorBackend {
+ public:
+  [[nodiscard]] Method method() const override { return Method::kTac; }
+  [[nodiscard]] const char* name() const override { return "TAC"; }
+
+  [[nodiscard]] CompressedAmr compress(const amr::AmrDataset& ds,
+                                       const TacConfig& cfg) const override {
+    if (ds.num_levels() == 0)
+      throw std::invalid_argument("tac_compress: empty dataset");
+    if (!cfg.level_error_bounds.empty() &&
+        cfg.level_error_bounds.size() != ds.num_levels())
+      throw std::invalid_argument(
+          "tac_compress: level_error_bounds has " +
+          std::to_string(cfg.level_error_bounds.size()) +
+          " entries but the dataset has " + std::to_string(ds.num_levels()) +
+          " levels (need one bound per level, finest first)");
+    if (cfg.block_size == 0)
+      throw std::invalid_argument("tac_compress: block_size must be > 0");
+
+    Timer total;
+    CompressReport report;
+    report.method = Method::kTac;
+    report.original_bytes = ds.original_bytes();
+
+    // Level pipeline: levels are compressed concurrently into private
+    // chunks and merged in level order, so the container and the report
+    // are stable regardless of the worker count.
+    std::vector<LevelOutput> levels(ds.num_levels());
+    parallel_for(
+        0, ds.num_levels(),
+        [&](std::size_t l) { levels[l] = compress_level(ds, l, cfg); },
+        /*grain=*/1);
+
+    ByteWriter w;
+    write_common_header(w, Method::kTac, ds);
+    for (auto& lvl : levels) {
+      w.put_bytes(lvl.bytes);
+      report.levels.push_back(lvl.report);
+    }
+
+    CompressedAmr out;
+    out.bytes = w.take();
+    report.compressed_bytes = out.bytes.size();
+    report.seconds = total.seconds();
+    out.report = std::move(report);
+    return out;
+  }
+
+  [[nodiscard]] amr::AmrDataset decompress(
+      ByteReader& r, amr::AmrDataset skeleton) const override {
+    for (std::size_t l = 0; l < skeleton.num_levels(); ++l) {
+      amr::AmrLevel& lv = skeleton.level(l);
+      const auto strategy = static_cast<Strategy>(r.get<std::uint8_t>());
+      const std::size_t block_size =
+          static_cast<std::size_t>(r.get_varint());
+      const BlockGrid grid(lv.dims(), block_size);
+      switch (strategy) {
+        case Strategy::kNaST:
+        case Strategy::kOpST:
+        case Strategy::kAKDTree: {
+          const DecodedGroups dg = deserialize_groups(r, block_size);
+          scatter_groups(lv, grid, dg.groups);
+          break;
+        }
+        case Strategy::kGSP:
+        case Strategy::kZF: {
+          const auto stream = r.get_blob();
+          auto grid_data = sz::decompress<double>(stream);
+          if (grid_data.size() != lv.dims().volume())
+            throw std::runtime_error("tac: level payload size mismatch");
+          lv.data = Array3D<double>(lv.dims(), std::move(grid_data));
+          break;
+        }
+        default:
+          throw std::runtime_error("tac: unknown strategy tag");
+      }
+      apply_mask(lv);
+    }
+    return skeleton;
+  }
+};
+
 }  // namespace
+
+namespace detail {
+std::unique_ptr<CompressorBackend> make_tac_backend() {
+  return std::make_unique<TacBackend>();
+}
+}  // namespace detail
 
 Strategy select_strategy(double block_density, double t1, double t2) {
   if (block_density < t1) return Strategy::kOpST;
@@ -107,145 +279,13 @@ Strategy select_strategy(double block_density, double t1, double t2) {
 }
 
 CompressedAmr tac_compress(const amr::AmrDataset& ds, const TacConfig& cfg) {
-  if (ds.num_levels() == 0)
-    throw std::invalid_argument("tac_compress: empty dataset");
-  if (!cfg.level_error_bounds.empty() &&
-      cfg.level_error_bounds.size() != ds.num_levels())
-    throw std::invalid_argument(
-        "tac_compress: level_error_bounds size != level count");
-  if (cfg.block_size == 0)
-    throw std::invalid_argument("tac_compress: block_size must be > 0");
-
-  Timer total;
-  ByteWriter w;
-  write_common_header(w, Method::kTac, ds);
-
-  CompressReport report;
-  report.method = Method::kTac;
-  report.original_bytes = ds.original_bytes();
-
-  for (std::size_t l = 0; l < ds.num_levels(); ++l) {
-    const amr::AmrLevel& lv = ds.level(l);
-    LevelReport lr;
-    lr.valid_cells = lv.valid_count();
-
-    Timer pre;
-    const BlockGrid grid(lv.dims(), cfg.block_size);
-    const auto occ = block_occupancy(lv, grid);
-    lr.block_density = occupancy_density(occ);
-    lr.strategy = cfg.force_strategy.value_or(
-        select_strategy(lr.block_density, cfg.t1, cfg.t2));
-
-    const sz::SzConfig level_cfg = resolve_level_config(cfg, l, lv);
-
-    w.put<std::uint8_t>(static_cast<std::uint8_t>(lr.strategy));
-    w.put_varint(cfg.block_size);
-
-    const std::size_t bytes_before = w.size();
-    switch (lr.strategy) {
-      case Strategy::kNaST:
-      case Strategy::kOpST:
-      case Strategy::kAKDTree: {
-        std::vector<SubBlock> subs;
-        if (lr.strategy == Strategy::kNaST)
-          subs = nast_extract(occ);
-        else if (lr.strategy == Strategy::kOpST)
-          subs = opst_extract(occ);
-        else
-          subs = akdtree_extract(occ);
-        auto groups = gather_groups(lv, grid, subs);
-        lr.preprocess_seconds = pre.seconds();
-        lr.n_sub_blocks = subs.size();
-        lr.n_groups = groups.size();
-
-        Timer comp;
-        std::vector<std::vector<std::uint8_t>> streams;
-        streams.reserve(groups.size());
-        for (const BlockGroup& g : groups) {
-          streams.push_back(sz::compress<double>(
-              g.buffer, g.block_cell_dims, level_cfg, g.members.size()));
-          lr.abs_error_bound = sz::peek(streams.back()).abs_error_bound;
-        }
-        lr.compress_seconds = comp.seconds();
-        serialize_groups(w, groups, streams);
-        break;
-      }
-      case Strategy::kGSP:
-      case Strategy::kZF: {
-        const Array3D<double> padded = lr.strategy == Strategy::kGSP
-                                           ? gsp_pad(lv, grid, occ)
-                                           : zf_pad(lv);
-        lr.preprocess_seconds = pre.seconds();
-        lr.n_groups = 1;
-
-        Timer comp;
-        const auto stream =
-            sz::compress<double>(padded.span(), padded.dims(), level_cfg);
-        lr.compress_seconds = comp.seconds();
-        lr.abs_error_bound = sz::peek(stream).abs_error_bound;
-        w.put_blob(stream);
-        break;
-      }
-    }
-    lr.compressed_bytes = w.size() - bytes_before;
-    report.levels.push_back(lr);
-  }
-
-  CompressedAmr out;
-  out.bytes = w.take();
-  report.compressed_bytes = out.bytes.size();
-  report.seconds = total.seconds();
-  out.report = std::move(report);
-  return out;
+  return backend_for(Method::kTac).compress(ds, cfg);
 }
-
-namespace {
-
-amr::AmrDataset decompress_tac(ByteReader& r, amr::AmrDataset skeleton) {
-  for (std::size_t l = 0; l < skeleton.num_levels(); ++l) {
-    amr::AmrLevel& lv = skeleton.level(l);
-    const auto strategy = static_cast<Strategy>(r.get<std::uint8_t>());
-    const std::size_t block_size = static_cast<std::size_t>(r.get_varint());
-    const BlockGrid grid(lv.dims(), block_size);
-    switch (strategy) {
-      case Strategy::kNaST:
-      case Strategy::kOpST:
-      case Strategy::kAKDTree: {
-        const DecodedGroups dg = deserialize_groups(r, block_size);
-        scatter_groups(lv, grid, dg.groups);
-        break;
-      }
-      case Strategy::kGSP:
-      case Strategy::kZF: {
-        const auto stream = r.get_blob();
-        auto grid_data = sz::decompress<double>(stream);
-        if (grid_data.size() != lv.dims().volume())
-          throw std::runtime_error("tac: level payload size mismatch");
-        lv.data = Array3D<double>(lv.dims(), std::move(grid_data));
-        break;
-      }
-      default:
-        throw std::runtime_error("tac: unknown strategy tag");
-    }
-    apply_mask(lv);
-  }
-  return skeleton;
-}
-
-}  // namespace
 
 amr::AmrDataset decompress_any(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   CommonHeader h = read_common_header(r);
-  switch (h.method) {
-    case Method::kTac:
-      return decompress_tac(r, std::move(h.skeleton));
-    case Method::kOneD:
-    case Method::kZMesh:
-    case Method::kUpsample3D:
-      return baselines_decompress(h.method, r, std::move(h.skeleton));
-  }
-  throw std::runtime_error("container: unknown method tag");
+  return backend_for(h.method).decompress(r, std::move(h.skeleton));
 }
 
 }  // namespace tac::core

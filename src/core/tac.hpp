@@ -68,12 +68,17 @@ struct CompressedAmr {
 [[nodiscard]] Strategy select_strategy(double block_density, double t1,
                                        double t2);
 
-/// Compresses a dataset with TAC.
+/// Compresses a dataset with TAC (wrapper over the registered TAC
+/// backend; see core/backend.hpp). Independent levels and per-group
+/// sub-block streams compress concurrently, and the container is
+/// byte-identical at any thread count.
 [[nodiscard]] CompressedAmr tac_compress(const amr::AmrDataset& ds,
                                          const TacConfig& cfg);
 
-/// Decompresses any container produced by this library (TAC or baselines),
-/// dispatching on the method tag.
+/// Decompresses any container produced by this library: reads the common
+/// header and dispatches to whichever CompressorBackend is registered for
+/// the method tag. Unknown tags and truncated buffers raise descriptive
+/// std::runtime_errors.
 [[nodiscard]] amr::AmrDataset decompress_any(
     std::span<const std::uint8_t> bytes);
 

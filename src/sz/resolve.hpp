@@ -1,0 +1,37 @@
+#ifndef TAC_SZ_RESOLVE_HPP
+#define TAC_SZ_RESOLVE_HPP
+
+/// \file resolve.hpp
+/// \brief Error-bound resolution shared by every compression backend.
+///
+/// Relative bounds are resolved to absolute bounds against an explicit
+/// value range *before* any stream is compressed, so all streams cut from
+/// the same scope (a level, or a whole dataset) share one bound. The
+/// helpers are pure functions of their arguments — no globals, no caches —
+/// which is what lets the level pipeline resolve configs from concurrent
+/// worker threads.
+
+#include <cmath>
+
+#include "sz/config.hpp"
+
+namespace tac::sz {
+
+/// Resolves a relative bound against the range [lo, hi]. Absolute and
+/// point-wise-relative configs pass through unchanged. A degenerate range
+/// (empty, zero-width, or non-finite) also passes through unchanged: the
+/// sz layer then falls back to its internal lossless outlier path.
+[[nodiscard]] inline SzConfig resolve_range_bound(const SzConfig& cfg,
+                                                  double lo, double hi) {
+  if (cfg.mode != ErrorBoundMode::kRelative) return cfg;
+  const double abs_eb = cfg.error_bound * (hi - lo);
+  if (!(abs_eb > 0) || !std::isfinite(abs_eb)) return cfg;
+  SzConfig out = cfg;
+  out.mode = ErrorBoundMode::kAbsolute;
+  out.error_bound = abs_eb;
+  return out;
+}
+
+}  // namespace tac::sz
+
+#endif  // TAC_SZ_RESOLVE_HPP
