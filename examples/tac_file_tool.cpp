@@ -5,12 +5,23 @@
 ///   tac_file_tool gen <out.amr> [n=64]        generate a demo snapshot
 ///   tac_file_tool compress <in.amr> <out.tac> [rel_eb=1e-4] [method]
 ///   tac_file_tool decompress <in.tac> <out.amr>
-///   tac_file_tool info <file>                 inspect either format
+///   tac_file_tool extract <in.tac> <out.amr> --level=k [--field=f]
+///   tac_file_tool info <file>                 inspect any format
 ///
 /// method: tac (default, adaptive), 1d, zmesh, 3d
+///
+/// `extract` uses the v2 payload index for random access: --level=k decodes
+/// only level k's payload (TAC/1D containers), and --field=f picks one
+/// field out of a compressed snapshot without touching the others. `info`
+/// prints the payload index and verifies every checksum.
+///
+/// Exit codes: 0 success, 1 unexpected error, 2 usage error, 3 file I/O
+/// error, 4 corrupt/undecodable container.
+///
 /// Run with no arguments for a self-contained demo in the current
 /// directory.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,6 +29,7 @@
 #include <vector>
 
 #include "amr/amr_io.hpp"
+#include "amr/snapshot.hpp"
 #include "analysis/metrics.hpp"
 #include "common/timer.hpp"
 #include "core/adaptive.hpp"
@@ -28,22 +40,70 @@ namespace {
 
 using namespace tac;
 
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+constexpr int kExitCorrupt = 4;
+
+/// File-level failures (open/read/write) — mapped to kExitIo, distinct
+/// from corrupt-container errors raised by the decoders.
+struct IoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Undecodable input bytes — mapped to kExitCorrupt.
+struct CorruptError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Runs one decode step over already-read file bytes. Inside a decode,
+/// ANY library exception means the bytes are bad — the lossless layer
+/// throws invalid_argument for impossible Huffman tables, sz throws
+/// runtime_error — so everything maps to CorruptError (exit 4), never to
+/// the usage exit reserved for bad command lines.
+template <class F>
+auto decode_step(F&& f) -> decltype(f()) {
+  try {
+    return f();
+  } catch (const tac::core::ChecksumError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw CorruptError(e.what());
+  }
+}
+
+/// Streamed in fixed chunks instead of one slurp: bounded syscall sizes,
+/// and short reads/writes surface as IoError instead of silently handing
+/// a half-filled buffer to the decoders.
+constexpr std::size_t kIoChunk = std::size_t{1} << 20;  // 1 MiB
+
 std::vector<std::uint8_t> read_file(const std::string& path) {
-  std::ifstream f(path, std::ios::binary | std::ios::ate);
-  if (!f) throw std::runtime_error("cannot open " + path);
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(f.tellg()));
-  f.seekg(0);
-  f.read(reinterpret_cast<char*>(bytes.data()),
-         static_cast<std::streamsize>(bytes.size()));
-  return bytes;
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw IoError("cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  for (;;) {
+    const std::size_t old = bytes.size();
+    bytes.resize(old + kIoChunk);
+    f.read(reinterpret_cast<char*>(bytes.data() + old),
+           static_cast<std::streamsize>(kIoChunk));
+    bytes.resize(old + static_cast<std::size_t>(f.gcount()));
+    if (f.eof()) return bytes;
+    if (!f) throw IoError("read failed: " + path);
+  }
 }
 
 void write_file(const std::string& path,
                 const std::vector<std::uint8_t>& bytes) {
   std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("cannot open " + path);
-  f.write(reinterpret_cast<const char*>(bytes.data()),
-          static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw IoError("cannot open " + path);
+  for (std::size_t pos = 0; pos < bytes.size(); pos += kIoChunk) {
+    const std::size_t n = std::min(kIoChunk, bytes.size() - pos);
+    f.write(reinterpret_cast<const char*>(bytes.data() + pos),
+            static_cast<std::streamsize>(n));
+    if (!f) throw IoError("write failed: " + path);
+  }
+  f.flush();
+  if (!f) throw IoError("write failed: " + path);
 }
 
 int cmd_gen(const std::string& out, std::size_t n) {
@@ -77,7 +137,7 @@ int cmd_compress(const std::string& in, const std::string& out,
         core::backend_for(core::Method::kUpsample3D).compress(ds, cfg);
   } else {
     std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
-    return 2;
+    return kExitUsage;
   }
   write_file(out, compressed.bytes);
   std::printf("%s -> %s: %s, CR %.1f, %.1f MB/s compress\n", in.c_str(),
@@ -91,24 +151,170 @@ int cmd_compress(const std::string& in, const std::string& out,
 
 int cmd_decompress(const std::string& in, const std::string& out) {
   const auto bytes = read_file(in);
-  const auto ds = core::decompress_any(bytes);
+  const auto ds = decode_step([&] { return core::decompress_any(bytes); });
   amr::save_dataset(out, ds);
   std::printf("%s -> %s: field '%s', %zu levels\n", in.c_str(), out.c_str(),
               ds.field_name().c_str(), ds.num_levels());
   return 0;
 }
 
+int cmd_extract(const std::string& in, const std::string& out, long level,
+                const std::string& field) {
+  const auto bytes = read_file(in);
+
+  std::span<const std::uint8_t> container(bytes);
+  if (!field.empty()) {
+    if (!core::is_compressed_snapshot(bytes)) {
+      std::fprintf(stderr,
+                   "--field requires a compressed snapshot input "
+                   "(%s is a single-field container)\n",
+                   in.c_str());
+      return kExitUsage;
+    }
+    // One parse serves both the misspelled-field usage message and the
+    // slice lookup.
+    const auto fields =
+        decode_step([&] { return core::snapshot_fields(bytes); });
+    const auto it =
+        std::find_if(fields.begin(), fields.end(),
+                     [&](const auto& f) { return f.name == field; });
+    if (it == fields.end()) {
+      std::fprintf(stderr, "no field '%s' in %s (fields:", field.c_str(),
+                   in.c_str());
+      for (const auto& f : fields)
+        std::fprintf(stderr, " %s", f.name.c_str());
+      std::fprintf(stderr, ")\n");
+      return kExitUsage;
+    }
+    if (!it->checksum_ok)
+      throw core::ChecksumError("snapshot container: field \"" + field +
+                                "\" checksum mismatch");
+    container = it->bytes;
+  } else if (core::is_compressed_snapshot(bytes)) {
+    std::fprintf(stderr,
+                 "%s is a multi-field snapshot; pick one with --field=<name> "
+                 "(fields:",
+                 in.c_str());
+    for (const auto& f :
+         decode_step([&] { return core::snapshot_fields(bytes); }))
+      std::fprintf(stderr, " %s", f.name.c_str());
+    std::fprintf(stderr, ")\n");
+    return kExitUsage;
+  }
+
+  if (level < 0) {
+    // Field-only extraction: decode the whole selected container.
+    const auto ds =
+        decode_step([&] { return core::decompress_any(container); });
+    amr::save_dataset(out, ds);
+    std::printf("%s -> %s: field '%s', %zu levels\n", in.c_str(), out.c_str(),
+                ds.field_name().c_str(), ds.num_levels());
+    return 0;
+  }
+
+  // Level extraction: the payload index makes this O(level), not
+  // O(dataset), for TAC/1D containers. Parse the header once and hand it
+  // to the backend directly (the decompress_level convenience wrapper
+  // would parse — and unpack every level mask — a second time).
+  const core::CommonHeader h = decode_step([&] {
+    ByteReader header_reader(container);
+    return core::read_common_header(header_reader);
+  });
+  if (static_cast<std::size_t>(level) >= h.skeleton.num_levels()) {
+    std::fprintf(stderr, "no level %ld in %s (container has %zu levels)\n",
+                 level, in.c_str(), h.skeleton.num_levels());
+    return kExitUsage;
+  }
+  amr::AmrLevel lv = decode_step([&] {
+    return core::backend_for(h.method).decompress_level(
+        container, h, static_cast<std::size_t>(level));
+  });
+  const auto dims = lv.dims();
+  const std::size_t valid = lv.valid_count();
+  amr::AmrDataset single(h.skeleton.field_name(), {std::move(lv)},
+                         h.skeleton.refinement_ratio());
+  amr::save_dataset(out, single);
+  std::printf("%s -> %s: field '%s' level %ld of %zu, %zux%zux%zu, "
+              "%zu valid cells\n",
+              in.c_str(), out.c_str(), single.field_name().c_str(), level,
+              h.skeleton.num_levels(), dims.nx, dims.ny, dims.nz, valid);
+  return 0;
+}
+
+int print_container_info(const std::string& path,
+                         const std::vector<std::uint8_t>& bytes) {
+  const core::CommonHeader h = decode_step([&] {
+    ByteReader r(bytes);
+    return core::read_common_header(r);
+  });
+  std::printf("%s: compressed container v%u, method %s, field '%s', "
+              "%zu levels, %zu bytes\n",
+              path.c_str(), h.version, core::to_string(h.method),
+              h.skeleton.field_name().c_str(), h.skeleton.num_levels(),
+              bytes.size());
+  if (h.index.entries.empty()) {
+    std::printf("  no payload index (v1 container; no random access, "
+                "no checksums)\n");
+    return 0;
+  }
+  bool all_ok = true;
+  for (std::size_t i = 0; i < h.index.entries.size(); ++i) {
+    const auto& e = h.index.entries[i];
+    const char* status = "OK";
+    try {
+      core::verify_payload(bytes, h.index, i);
+    } catch (const std::exception&) {
+      status = "FAIL";
+      all_ok = false;
+    }
+    std::printf("  payload %zu: offset %llu, length %llu, crc32 %08x  %s\n",
+                i, static_cast<unsigned long long>(e.offset),
+                static_cast<unsigned long long>(e.length), e.crc32, status);
+  }
+  const std::size_t index_bytes = h.payload_offset - h.index_offset;
+  std::printf("  index: %zu bytes (%.3f%% of container), checksums %s\n",
+              index_bytes,
+              100.0 * static_cast<double>(index_bytes) /
+                  static_cast<double>(bytes.size()),
+              all_ok ? "all OK" : "FAILED");
+  return all_ok ? 0 : kExitCorrupt;
+}
+
+int print_snapshot_info(const std::string& path,
+                        const std::vector<std::uint8_t>& bytes) {
+  const auto fields = decode_step([&] { return core::snapshot_fields(bytes); });
+  std::printf("%s: compressed snapshot, %zu fields, %zu bytes\n",
+              path.c_str(), fields.size(), bytes.size());
+  bool all_ok = true;
+  for (const auto& f : fields) {
+    if (f.checksum_ok) {
+      const char* method = "?";
+      try {
+        method = core::to_string(core::peek_method(f.bytes));
+      } catch (const std::exception&) {
+        // A passing checksum with an unreadable header can only mean the
+        // snapshot was written with a newer method set; still listable.
+      }
+      std::printf("  field '%s': %zu bytes, method %s, checksum OK\n",
+                  f.name.c_str(), f.bytes.size(), method);
+    } else {
+      std::printf("  field '%s': %zu bytes, checksum FAIL\n", f.name.c_str(),
+                  f.bytes.size());
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : kExitCorrupt;
+}
+
 int cmd_info(const std::string& path) {
   const auto bytes = read_file(path);
-  try {
-    const auto method = core::peek_method(bytes);
-    std::printf("%s: compressed container, method %s, %zu bytes\n",
-                path.c_str(), core::to_string(method), bytes.size());
-    return 0;
-  } catch (const std::exception&) {
-    // Not a container; try the snapshot format.
-  }
-  const auto ds = amr::dataset_from_bytes(bytes);
+  if (core::is_compressed_snapshot(bytes))
+    return print_snapshot_info(path, bytes);
+  // Only the magic decides the route: once it matches, any parse error
+  // (truncation, bad version, bad tag) must surface as this container's
+  // error, not a misleading AMR-format one.
+  if (core::is_container(bytes)) return print_container_info(path, bytes);
+  const auto ds = decode_step([&] { return amr::dataset_from_bytes(bytes); });
   std::printf("%s: AMR snapshot, field '%s', ratio %d, %zu levels\n",
               path.c_str(), ds.field_name().c_str(), ds.refinement_ratio(),
               ds.num_levels());
@@ -126,6 +332,7 @@ int demo() {
     return rc;
   if (const int rc = cmd_info("demo.tac")) return rc;
   if (const int rc = cmd_decompress("demo.tac", "demo_out.amr")) return rc;
+  if (const int rc = cmd_extract("demo.tac", "demo_l0.amr", 0, "")) return rc;
   // Verify the round trip respects the bound.
   const auto orig = amr::load_dataset("demo.amr");
   const auto back = amr::load_dataset("demo_out.amr");
@@ -135,7 +342,46 @@ int demo() {
   std::remove("demo.amr");
   std::remove("demo.tac");
   std::remove("demo_out.amr");
+  std::remove("demo_l0.amr");
   return 0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s gen <out.amr> [n] | compress <in> <out> "
+               "[rel_eb] [tac|1d|zmesh|3d] | decompress <in> <out> | "
+               "extract <in.tac> <out.amr> --level=k [--field=f] | "
+               "info <file>\n",
+               argv0);
+  return kExitUsage;
+}
+
+/// Numeric CLI arguments parse before any command runs, so a malformed
+/// number is a usage error while library-thrown invalid_argument /
+/// out_of_range (bad grid extent, level past the container, ...) keep
+/// their descriptive messages.
+bool parse_num(const char* s, std::size_t& out) {
+  // Digits only: stoul would silently wrap "-2" to a huge value.
+  if (*s == '\0') return false;
+  for (const char* p = s; *p; ++p)
+    if (*p < '0' || *p > '9') return false;
+  try {
+    std::size_t idx = 0;
+    out = std::stoul(s, &idx);
+    return idx == std::strlen(s);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_num(const char* s, double& out) {
+  try {
+    std::size_t idx = 0;
+    out = std::stod(s, &idx);
+    return idx == std::strlen(s);
+  } catch (const std::exception&) {
+    return false;
+  }
 }
 
 }  // namespace
@@ -144,25 +390,62 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) return demo();
     const std::string cmd = argv[1];
-    if (cmd == "gen" && argc >= 3)
-      return cmd_gen(argv[2],
-                     argc >= 4 ? static_cast<std::size_t>(std::stoul(argv[3]))
-                               : 64);
-    if (cmd == "compress" && argc >= 4)
-      return cmd_compress(argv[2], argv[3],
-                          argc >= 5 ? std::stod(argv[4]) : 1e-4,
+    if (cmd == "gen" && argc >= 3) {
+      std::size_t n = 64;
+      if (argc >= 4 && !parse_num(argv[3], n)) return usage(argv[0]);
+      return cmd_gen(argv[2], n);
+    }
+    if (cmd == "compress" && argc >= 4) {
+      double rel_eb = 1e-4;
+      if (argc >= 5 && !parse_num(argv[4], rel_eb)) return usage(argv[0]);
+      return cmd_compress(argv[2], argv[3], rel_eb,
                           argc >= 6 ? argv[5] : "tac");
+    }
     if (cmd == "decompress" && argc >= 4)
       return cmd_decompress(argv[2], argv[3]);
+    if (cmd == "extract" && argc >= 4) {
+      long level = -1;
+      std::string field;
+      for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--level=", 0) == 0) {
+          std::size_t k = 0;
+          if (!parse_num(arg.c_str() + 8, k)) return usage(argv[0]);
+          level = static_cast<long>(k);
+        } else if (arg.rfind("--field=", 0) == 0) {
+          field = arg.substr(8);
+        } else {
+          return usage(argv[0]);
+        }
+      }
+      if (level < 0 && field.empty()) return usage(argv[0]);
+      return cmd_extract(argv[2], argv[3], level, field);
+    }
     if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
-    std::fprintf(stderr,
-                 "usage: %s gen <out.amr> [n] | compress <in> <out> "
-                 "[rel_eb] [tac|1d|zmesh|3d] | decompress <in> <out> | "
-                 "info <file>\n",
-                 argv[0]);
-    return 2;
+    return usage(argv[0]);
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "I/O error: %s\n", e.what());
+    return kExitIo;
+  } catch (const tac::core::ChecksumError& e) {
+    std::fprintf(stderr, "corrupt container: %s\n", e.what());
+    return kExitCorrupt;
+  } catch (const CorruptError& e) {
+    std::fprintf(stderr, "corrupt container: %s\n", e.what());
+    return kExitCorrupt;
+  } catch (const std::invalid_argument& e) {
+    // Library-rejected user input (bad grid extent, empty dataset, ...):
+    // keep the descriptive message, classify as a usage error.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitUsage;
+  } catch (const std::out_of_range& e) {
+    // e.g. --level past the container's level count.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitUsage;
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "corrupt container: %s\n", e.what());
+    return kExitCorrupt;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitError;
   }
 }

@@ -45,6 +45,49 @@ struct TacConfig;  // forward; defined in core/tac.hpp
 
 [[nodiscard]] amr::Snapshot decompress_snapshot(
     std::span<const std::uint8_t> bytes);
+
+/// Decompresses one field of a compressed snapshot by name. v2 snapshots
+/// carry a per-field index, so only that field's bytes are checksummed and
+/// decoded — O(field), not O(snapshot); v1 snapshots are scanned. Throws
+/// std::runtime_error when no field has that name, core::ChecksumError on
+/// payload corruption.
+[[nodiscard]] amr::AmrDataset decompress_field(
+    std::span<const std::uint8_t> bytes, const std::string& name);
+
+/// The raw container bytes of one field inside a compressed snapshot
+/// (checksum-verified for v2). The span aliases `bytes` — it is valid only
+/// while the snapshot buffer lives. Feed it to decompress_any /
+/// decompress_level for random access inside the field.
+[[nodiscard]] std::span<const std::uint8_t> snapshot_field_bytes(
+    std::span<const std::uint8_t> bytes, const std::string& name);
+
+/// Field names of a compressed snapshot, in storage order (from the v2
+/// index, or the per-field headers for v1).
+[[nodiscard]] std::vector<std::string> snapshot_field_names(
+    std::span<const std::uint8_t> bytes);
+
+/// True when `bytes` starts with the compressed-snapshot magic — cheap
+/// format sniffing for tools that accept both single-field containers
+/// and snapshots.
+[[nodiscard]] bool is_compressed_snapshot(
+    std::span<const std::uint8_t> bytes);
+
+/// One field of a compressed snapshot as seen by a single index parse:
+/// the stored name, the raw container slice (aliases the snapshot
+/// buffer), and whether its stored checksum matches (always true for v1,
+/// which stores none). Unlike snapshot_field_bytes this never throws on a
+/// bad checksum, so tools can report per-field status.
+struct SnapshotFieldInfo {
+  std::string name;
+  std::span<const std::uint8_t> bytes;
+  bool checksum_ok = true;
+};
+
+/// All fields of a compressed snapshot from one parse — O(snapshot)
+/// total, where per-name lookups through snapshot_field_bytes would be
+/// O(fields^2).
+[[nodiscard]] std::vector<SnapshotFieldInfo> snapshot_fields(
+    std::span<const std::uint8_t> bytes);
 }  // namespace tac::core
 
 #endif  // TAC_AMR_SNAPSHOT_HPP

@@ -6,9 +6,11 @@
 /// and field generation.
 ///
 /// Uses OpenMP when compiled with it (the HPC-standard path), otherwise a
-/// std::thread block fan-out. Results must not depend on iteration order;
-/// every call site partitions disjoint output ranges, so the worker count
-/// never changes what is computed — only how fast.
+/// lazily-created shared thread pool (common/thread_pool.hpp) that claims
+/// fixed chunks work-stealing style — no per-call thread spawns. Results
+/// must not depend on iteration order; every call site partitions disjoint
+/// output ranges, so the worker count never changes what is computed —
+/// only how fast.
 ///
 /// Loops nest (the level pipeline runs per-group compression inside
 /// per-level workers, which call into sz's internal loops): a single
@@ -24,12 +26,15 @@
 #include <atomic>
 #include <cstddef>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #if defined(_OPENMP)
 #include <omp.h>
+#else
+#include "common/thread_pool.hpp"
 #endif
 
 namespace tac {
@@ -123,18 +128,30 @@ void parallel_for(std::size_t begin, std::size_t end, const Body& body,
     detail::tl_nested_budget = saved;
   }
 #else
-  std::vector<std::thread> workers;
-  workers.reserve(chunks);
+  // Shared-pool fan-out: one Loop object describes all chunks; idle pool
+  // workers steal chunks while the calling thread drains the rest itself,
+  // then sleeps only for chunks already executing elsewhere. Chunk c
+  // always covers the same index range, so outputs (and therefore
+  // containers) are byte-identical at any worker count.
+  detail::ThreadPool& pool = detail::ThreadPool::instance();
+  auto loop = std::make_shared<detail::ThreadPool::Loop>();
   const std::size_t per = n / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
+  loop->chunks = chunks;
+  loop->unfinished.store(chunks, std::memory_order_relaxed);
+  loop->run_chunk = [begin, end, per, chunks, sub_budget,
+                     &guarded](std::size_t c) {
     const std::size_t lo = begin + c * per;
     const std::size_t hi = (c + 1 == chunks) ? end : lo + per;
-    workers.emplace_back([lo, hi, &guarded, sub_budget] {
-      detail::tl_nested_budget = sub_budget;
-      for (std::size_t i = lo; i < hi; ++i) guarded(i);
-    });
-  }
-  for (auto& w : workers) w.join();
+    // Pool threads (and the helping caller) are reused across loops:
+    // save/restore the nested budget exactly like the OpenMP branch.
+    const unsigned saved = detail::tl_nested_budget;
+    detail::tl_nested_budget = sub_budget;
+    for (std::size_t i = lo; i < hi; ++i) guarded(i);
+    detail::tl_nested_budget = saved;
+  };
+  pool.submit(loop);
+  pool.drain(*loop);
+  pool.wait(*loop);
 #endif
   if (error) std::rethrow_exception(error);
 }

@@ -1,0 +1,146 @@
+#ifndef TAC_COMMON_THREAD_POOL_HPP
+#define TAC_COMMON_THREAD_POOL_HPP
+
+/// \file thread_pool.hpp
+/// \brief Lazily-created shared worker pool backing tac::parallel_for on
+/// the non-OpenMP path.
+///
+/// parallel_for used to spawn (and join) fresh std::threads on every call;
+/// with the level pipeline issuing nested loops per container that cost
+/// shows up as thousands of short-lived threads. The pool keeps one set of
+/// hardware_concurrency workers alive and hands them *loops*: a loop is a
+/// chunk counter plus a run_chunk callable, and every idle worker claims
+/// chunks from the front loop until it is exhausted (work stealing at
+/// chunk granularity — a single enqueue fans out to all workers).
+///
+/// Deadlock-freedom with nested loops: the thread that submits a loop
+/// drains it itself (claims chunks until none remain) and only then sleeps
+/// waiting for chunks other threads claimed. A claimed chunk is always
+/// actively executing on some thread's stack, and nesting depth is finite
+/// (the budget in parallel.hpp shrinks to 1, which runs inline), so every
+/// wait resolves. Workers never block on anything except the queue.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tac::detail {
+
+class ThreadPool {
+ public:
+  /// One parallel loop: chunks [0, chunks) claimed via an atomic ticket.
+  struct Loop {
+    std::function<void(std::size_t)> run_chunk;
+    std::size_t chunks = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> unfinished{0};
+  };
+
+  /// The process-wide pool, created on first parallel_for that goes wide.
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  /// Makes `loop` visible to the workers and wakes them.
+  void submit(const std::shared_ptr<Loop>& loop) {
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      loops_.push_back(loop);
+    }
+    cv_.notify_all();
+  }
+
+  /// Caller-side drain: claim and run chunks of `loop` until none are
+  /// left unclaimed. The caller participates instead of oversubscribing
+  /// with an extra idle thread.
+  void drain(Loop& loop) {
+    for (;;) {
+      const std::size_t c = loop.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= loop.chunks) return;
+      run_one(loop, c);
+    }
+  }
+
+  /// Blocks until every chunk of `loop` has finished (claimed chunks are
+  /// executing on other threads; drain() must have been called first).
+  void wait(const Loop& loop) {
+    if (loop.unfinished.load(std::memory_order_acquire) == 0) return;
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [&] {
+      return loop.unfinished.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool() {
+    unsigned n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void run_one(Loop& loop, std::size_t chunk) {
+    loop.run_chunk(chunk);
+    if (loop.unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last chunk: wake the submitter sleeping in wait(). Lock to pair
+      // with the predicate check, so the wakeup cannot be missed.
+      const std::lock_guard<std::mutex> lock(m_);
+      cv_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(m_);
+    for (;;) {
+      cv_.wait(lock, [this] { return stop_ || !loops_.empty(); });
+      if (stop_) return;
+      // Claim a chunk from the front loop; pop loops that are fully
+      // claimed (their remaining chunks are executing elsewhere).
+      std::shared_ptr<Loop> loop = loops_.front();
+      std::size_t c = loop->next.fetch_add(1, std::memory_order_relaxed);
+      while (c >= loop->chunks) {
+        if (!loops_.empty() && loops_.front() == loop) loops_.pop_front();
+        if (loops_.empty()) {
+          loop = nullptr;
+          break;
+        }
+        loop = loops_.front();
+        c = loop->next.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!loop) continue;
+      lock.unlock();
+      run_one(*loop, c);
+      lock.lock();
+    }
+  }
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Loop>> loops_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tac::detail
+
+#endif  // TAC_COMMON_THREAD_POOL_HPP

@@ -6,6 +6,23 @@
 #include <string>
 
 namespace tac::core {
+
+amr::AmrLevel CompressorBackend::decompress_level(
+    std::span<const std::uint8_t> container, const CommonHeader& header,
+    std::size_t level) const {
+  if (level >= header.skeleton.num_levels())
+    throw std::out_of_range(
+        "decompress_level: level " + std::to_string(level) +
+        " out of range (container has " +
+        std::to_string(header.skeleton.num_levels()) + " levels)");
+  // Full-decode fallback: every payload is read, so verify them all.
+  verify_payloads(container, header.index);
+  ByteReader r(container);
+  r.seek(header.payload_offset);
+  amr::AmrDataset full = decompress(r, header.skeleton);
+  return std::move(full.level(level));
+}
+
 namespace {
 
 /// Method is a uint8_t tag, so a flat array covers the whole key space.

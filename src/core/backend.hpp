@@ -45,9 +45,24 @@ class CompressorBackend {
 
   /// Decodes this backend's payload into the skeleton (structure decoded
   /// from the common header, data arrays zeroed) and returns the filled
-  /// dataset. `r` is positioned immediately after the common header.
+  /// dataset. `r` is positioned immediately after the common header (and,
+  /// for v2 containers, after the payload index).
   [[nodiscard]] virtual amr::AmrDataset decompress(
       ByteReader& r, amr::AmrDataset skeleton) const = 0;
+
+  /// Decodes only `level` of the container into a standalone AmrLevel.
+  /// `header` must be the result of read_common_header over `container`.
+  ///
+  /// The base implementation verifies every indexed payload, decodes the
+  /// whole container and keeps the requested level — correct for any
+  /// backend, O(dataset). Backends that store one payload per level (TAC,
+  /// 1D) override it to verify and visit only that level's indexed bytes,
+  /// making partial decompression O(level). Backends whose single payload
+  /// interleaves all levels (zMesh, 3D) cannot do better than the
+  /// fallback and simply inherit it.
+  [[nodiscard]] virtual amr::AmrLevel decompress_level(
+      std::span<const std::uint8_t> container, const CommonHeader& header,
+      std::size_t level) const;
 };
 
 /// Registers a backend under its Method tag. Throws std::invalid_argument

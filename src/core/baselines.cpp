@@ -98,13 +98,17 @@ class OneDBackend final : public CompressorBackend {
         /*grain=*/1);
 
     ByteWriter w;
-    write_common_header(w, Method::kOneD, ds);
+    PayloadIndexBuilder index =
+        write_common_header(w, Method::kOneD, ds, ds.num_levels());
     for (auto& lvl : levels) {
       const std::size_t before = w.size();
+      index.begin_payload();
       w.put_blob(lvl.stream);
+      index.end_payload();
       lvl.report.compressed_bytes = w.size() - before;
       report.levels.push_back(lvl.report);
     }
+    index.finish();
 
     CompressedAmr out;
     out.bytes = w.take();
@@ -116,17 +120,33 @@ class OneDBackend final : public CompressorBackend {
 
   [[nodiscard]] amr::AmrDataset decompress(
       ByteReader& r, amr::AmrDataset skeleton) const override {
-    for (std::size_t l = 0; l < skeleton.num_levels(); ++l) {
-      amr::AmrLevel& lv = skeleton.level(l);
-      const auto stream = r.get_blob();
-      if (stream.empty()) {
-        lv.scatter_valid({});
-      } else {
-        const auto values = sz::decompress<double>(stream);
-        lv.scatter_valid(values);
-      }
-    }
+    for (std::size_t l = 0; l < skeleton.num_levels(); ++l)
+      decode_level(r, skeleton.level(l));
     return skeleton;
+  }
+
+  /// Native partial decompression: one blob per level, one index entry
+  /// per blob, so a single level costs one checksum + one sz decode.
+  [[nodiscard]] amr::AmrLevel decompress_level(
+      std::span<const std::uint8_t> container, const CommonHeader& header,
+      std::size_t level) const override {
+    auto r = indexed_level_reader(container, header, level);
+    if (!r)  // v1 container (no index): fall back to the full decode.
+      return CompressorBackend::decompress_level(container, header, level);
+    amr::AmrLevel lv = header.skeleton.level(level);
+    decode_level(*r, lv);
+    return lv;
+  }
+
+ private:
+  static void decode_level(ByteReader& r, amr::AmrLevel& lv) {
+    const auto stream = r.get_blob();
+    if (stream.empty()) {
+      lv.scatter_valid({});
+    } else {
+      const auto values = sz::decompress<double>(stream);
+      lv.scatter_valid(values);
+    }
   }
 };
 
@@ -139,7 +159,11 @@ class ZMeshBackend final : public CompressorBackend {
                                        const TacConfig& cfg) const override {
     Timer total;
     ByteWriter w;
-    write_common_header(w, Method::kZMesh, ds);
+    // One interleaved stream spanning every level: a single payload (and
+    // a single index entry) — partial decompression uses the full-decode
+    // fallback for this backend.
+    PayloadIndexBuilder index =
+        write_common_header(w, Method::kZMesh, ds, /*n_payloads=*/1);
 
     CompressReport report;
     report.method = Method::kZMesh;
@@ -156,6 +180,7 @@ class ZMeshBackend final : public CompressorBackend {
     lr.valid_cells = values.size();
     lr.preprocess_seconds = pre_secs;
     Timer comp;
+    index.begin_payload();
     if (values.empty()) {
       w.put_blob({});
     } else {
@@ -164,6 +189,8 @@ class ZMeshBackend final : public CompressorBackend {
       lr.abs_error_bound = sz::peek(stream).abs_error_bound;
       w.put_blob(stream);
     }
+    index.end_payload();
+    index.finish();
     lr.compress_seconds = comp.seconds();
 
     CompressedAmr out;
@@ -195,7 +222,10 @@ class Upsample3DBackend final : public CompressorBackend {
                                        const TacConfig& cfg) const override {
     Timer total;
     ByteWriter w;
-    write_common_header(w, Method::kUpsample3D, ds);
+    // Levels merge into one up-sampled uniform grid: a single payload —
+    // partial decompression uses the full-decode fallback here too.
+    PayloadIndexBuilder index =
+        write_common_header(w, Method::kUpsample3D, ds, /*n_payloads=*/1);
 
     CompressReport report;
     report.method = Method::kUpsample3D;
@@ -215,7 +245,10 @@ class Upsample3DBackend final : public CompressorBackend {
         sz::compress<double>(uniform.span(), uniform.dims(), stream_cfg);
     lr.compress_seconds = comp.seconds();
     lr.abs_error_bound = sz::peek(stream).abs_error_bound;
+    index.begin_payload();
     w.put_blob(stream);
+    index.end_payload();
+    index.finish();
 
     CompressedAmr out;
     out.bytes = w.take();

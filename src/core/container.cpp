@@ -1,9 +1,11 @@
 #include "core/container.hpp"
 
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
 #include "amr/amr_io.hpp"
+#include "common/crc32.hpp"
 #include "core/backend.hpp"
 #include "lossless/codec.hpp"
 
@@ -15,10 +17,23 @@ constexpr std::uint32_t kMagic = 0x43434154;  // "TACC"
 constexpr std::size_t kHeaderPrefixBytes =
     sizeof(std::uint32_t) + 2 * sizeof(std::uint8_t);
 
+std::string hex32(std::uint32_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s = "0x";
+  for (int shift = 28; shift >= 0; shift -= 4)
+    s.push_back(digits[(v >> shift) & 0xFu]);
+  return s;
+}
+
+struct HeaderPrefix {
+  Method method;
+  std::uint8_t version;
+};
+
 /// Decodes the fixed header prefix with descriptive errors: wrong magic,
 /// unsupported version and unregistered method tags each say what was
 /// found, and short buffers never read past the span.
-Method read_header_prefix(ByteReader& r) {
+HeaderPrefix read_header_prefix(ByteReader& r) {
   if (r.remaining() < kHeaderPrefixBytes)
     throw std::runtime_error(
         "container: truncated header (" + std::to_string(r.remaining()) +
@@ -26,16 +41,17 @@ Method read_header_prefix(ByteReader& r) {
   if (r.get<std::uint32_t>() != kMagic)
     throw std::runtime_error("container: bad magic (not a TAC container)");
   const auto version = r.get<std::uint8_t>();
-  if (version != kFormatVersion)
+  if (version < kMinFormatVersion || version > kFormatVersion)
     throw std::runtime_error(
         "container: unsupported format version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(kFormatVersion) + ")");
+        " (this build reads versions " + std::to_string(kMinFormatVersion) +
+        ".." + std::to_string(kFormatVersion) + ")");
   const auto tag = r.get<std::uint8_t>();
   if (find_backend(static_cast<Method>(tag)) == nullptr)
     throw std::runtime_error(
         "container: unknown method tag " + std::to_string(tag) +
         " (no registered compressor backend)");
-  return static_cast<Method>(tag);
+  return {static_cast<Method>(tag), version};
 }
 
 }  // namespace
@@ -61,8 +77,46 @@ const char* to_string(Strategy s) {
   return "?";
 }
 
-void write_common_header(ByteWriter& w, Method method,
-                         const amr::AmrDataset& ds) {
+void PayloadIndexBuilder::begin_payload() {
+  if (w_ == nullptr)
+    throw std::logic_error("PayloadIndexBuilder: not attached to a writer");
+  if (open_begin_ != kNone)
+    throw std::logic_error(
+        "PayloadIndexBuilder: begin_payload with a payload still open");
+  if (sealed_ >= count_)
+    throw std::logic_error(
+        "PayloadIndexBuilder: more payloads than the " +
+        std::to_string(count_) + " reserved index entries");
+  open_begin_ = w_->size();
+}
+
+void PayloadIndexBuilder::end_payload() {
+  if (open_begin_ == kNone)
+    throw std::logic_error(
+        "PayloadIndexBuilder: end_payload without begin_payload");
+  const std::size_t end = w_->size();
+  const std::span<const std::uint8_t> written(w_->buffer());
+  PayloadEntry e;
+  e.offset = open_begin_;
+  e.length = end - open_begin_;
+  e.crc32 = crc32(written.subspan(open_begin_, end - open_begin_));
+  patch_payload_entry(*w_, entries_pos_ + sealed_ * kPayloadEntryBytes, e);
+  ++sealed_;
+  open_begin_ = kNone;
+}
+
+void PayloadIndexBuilder::finish() const {
+  if (open_begin_ != kNone)
+    throw std::logic_error("PayloadIndexBuilder: unsealed payload at finish");
+  if (sealed_ != count_)
+    throw std::logic_error(
+        "PayloadIndexBuilder: sealed " + std::to_string(sealed_) + " of " +
+        std::to_string(count_) + " reserved payloads");
+}
+
+PayloadIndexBuilder write_common_header(ByteWriter& w, Method method,
+                                        const amr::AmrDataset& ds,
+                                        std::size_t n_payloads) {
   w.put<std::uint32_t>(kMagic);
   w.put<std::uint8_t>(kFormatVersion);
   w.put<std::uint8_t>(static_cast<std::uint8_t>(method));
@@ -77,11 +131,16 @@ void write_common_header(ByteWriter& w, Method method,
     const auto packed = amr::pack_mask(lv.mask.span());
     w.put_blob(lossless::compress(packed));
   }
+  w.put_varint(n_payloads);
+  const std::size_t entries_pos = w.reserve(n_payloads * kPayloadEntryBytes);
+  return PayloadIndexBuilder(w, entries_pos, n_payloads);
 }
 
 CommonHeader read_common_header(ByteReader& r) {
   CommonHeader h;
-  h.method = read_header_prefix(r);
+  const HeaderPrefix prefix = read_header_prefix(r);
+  h.method = prefix.method;
+  h.version = prefix.version;
   const std::string field = r.get_string();
   const int ratio = static_cast<int>(r.get_varint());
   const std::size_t nlevels = static_cast<std::size_t>(r.get_varint());
@@ -99,12 +158,72 @@ CommonHeader read_common_header(ByteReader& r) {
     levels.push_back(std::move(lv));
   }
   h.skeleton = amr::AmrDataset(field, std::move(levels), ratio);
+  h.index_offset = r.position();
+  if (h.version >= 2) {
+    const std::size_t n = static_cast<std::size_t>(r.get_varint());
+    if (n > r.remaining() / kPayloadEntryBytes)
+      throw std::runtime_error(
+          "container: payload index claims " + std::to_string(n) +
+          " entries but only " + std::to_string(r.remaining()) +
+          " bytes remain");
+    h.index.entries.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      h.index.entries.push_back(read_payload_entry(r));
+  }
+  h.payload_offset = r.position();
   return h;
 }
 
 Method peek_method(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
-  return read_header_prefix(r);
+  return read_header_prefix(r).method;
+}
+
+bool is_container(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < sizeof(std::uint32_t)) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  return magic == kMagic;
+}
+
+void verify_payload(std::span<const std::uint8_t> container,
+                    const PayloadIndex& index, std::size_t i) {
+  const PayloadEntry& e = index.entries.at(i);
+  if (e.offset > container.size() ||
+      e.length > container.size() - e.offset)
+    throw std::runtime_error(
+        "container: payload " + std::to_string(i) +
+        " index entry [offset " + std::to_string(e.offset) + ", length " +
+        std::to_string(e.length) + "] exceeds the " +
+        std::to_string(container.size()) + "-byte container");
+  const std::uint32_t actual = crc32(container.subspan(
+      static_cast<std::size_t>(e.offset), static_cast<std::size_t>(e.length)));
+  if (actual != e.crc32)
+    throw ChecksumError("container: payload " + std::to_string(i) +
+                        " checksum mismatch (stored " + hex32(e.crc32) +
+                        ", computed " + hex32(actual) + ")");
+}
+
+void verify_payloads(std::span<const std::uint8_t> container,
+                     const PayloadIndex& index) {
+  for (std::size_t i = 0; i < index.entries.size(); ++i)
+    verify_payload(container, index, i);
+}
+
+std::optional<ByteReader> indexed_level_reader(
+    std::span<const std::uint8_t> container, const CommonHeader& header,
+    std::size_t level) {
+  if (header.index.entries.size() != header.skeleton.num_levels())
+    return std::nullopt;
+  if (level >= header.skeleton.num_levels())
+    throw std::out_of_range(
+        "decompress_level: level " + std::to_string(level) +
+        " out of range (container has " +
+        std::to_string(header.skeleton.num_levels()) + " levels)");
+  verify_payload(container, header.index, level);
+  const PayloadEntry& e = header.index.entries[level];
+  return ByteReader(container.subspan(static_cast<std::size_t>(e.offset),
+                                      static_cast<std::size_t>(e.length)));
 }
 
 }  // namespace tac::core

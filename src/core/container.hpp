@@ -12,9 +12,19 @@
 /// CompressorBackend registry (core/backend.hpp); headers with an unknown
 /// tag, a bad magic, an unsupported format version or a truncated buffer
 /// are rejected with descriptive errors.
+///
+/// Format v2 adds a payload index between the header and the payloads:
+/// every payload (one per level for TAC/1D, one for the interleaved
+/// zMesh/3D streams) is described by an absolute byte offset, a length and
+/// a CRC32 checksum. The index buys random access — `decompress_level`
+/// reads one level in O(that level's payload) instead of O(dataset) — and
+/// turns any single-byte payload corruption into a ChecksumError instead
+/// of a misparse. v1 containers (no index) are still decoded.
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -42,25 +52,145 @@ enum class Strategy : std::uint8_t {
 [[nodiscard]] const char* to_string(Strategy s);
 
 /// On-disk container format version. Bumped whenever the serialized layout
-/// changes; readers reject containers written by a different version with
-/// a descriptive error instead of misparsing them.
-inline constexpr std::uint8_t kFormatVersion = 1;
+/// changes; readers accept [kMinFormatVersion, kFormatVersion] and reject
+/// anything newer with a descriptive error instead of misparsing it.
+inline constexpr std::uint8_t kFormatVersion = 2;
+inline constexpr std::uint8_t kMinFormatVersion = 1;
 
-/// Writes the outer header: method, field, ratio and level masks.
-void write_common_header(ByteWriter& w, Method method,
-                         const amr::AmrDataset& ds);
+/// A stored payload checksum failed — the container bytes were damaged
+/// after writing (bit rot, truncated copy, transmission error).
+class ChecksumError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One entry of the v2 payload index. Offsets are absolute from the first
+/// container byte, so an entry can be read (and its payload fetched)
+/// without parsing anything that precedes it.
+struct PayloadEntry {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint32_t crc32 = 0;
+};
+
+/// Serialized size of one index entry (offset u64 + length u64 + crc u32,
+/// little-endian, fixed width so entries can be back-patched in place).
+inline constexpr std::size_t kPayloadEntryBytes = 20;
+
+/// The single source of truth for the on-disk entry triplet — every
+/// writer back-patches and every reader parses through these two.
+inline void patch_payload_entry(ByteWriter& w, std::size_t pos,
+                                const PayloadEntry& e) {
+  w.patch<std::uint64_t>(pos, e.offset);
+  w.patch<std::uint64_t>(pos + 8, e.length);
+  w.patch<std::uint32_t>(pos + 16, e.crc32);
+}
+
+[[nodiscard]] inline PayloadEntry read_payload_entry(ByteReader& r) {
+  PayloadEntry e;
+  e.offset = r.get<std::uint64_t>();
+  e.length = r.get<std::uint64_t>();
+  e.crc32 = r.get<std::uint32_t>();
+  return e;
+}
+
+/// The container's payload index: entry i covers payload i in write
+/// order. TAC and the 1D baseline write one payload per level (entry i ==
+/// level i); zMesh/3D write a single interleaved payload. Empty for v1
+/// containers.
+struct PayloadIndex {
+  std::vector<PayloadEntry> entries;
+};
+
+/// Fills the reserved index slots of a v2 container as payloads are
+/// written. `write_common_header` reserves `n_payloads` zeroed entries and
+/// returns a builder; the backend brackets every payload it appends with
+/// begin_payload()/end_payload(), which records the offset/length and
+/// checksums the bytes in between. Sealing fewer or more payloads than
+/// reserved is a logic error (caught by end_payload / finish).
+class PayloadIndexBuilder {
+ public:
+  PayloadIndexBuilder() = default;
+
+  /// Marks the writer's current position as the start of the next payload.
+  void begin_payload();
+
+  /// Seals the payload opened by the last begin_payload(): patches its
+  /// index entry with {offset, length, crc32 of the written bytes}.
+  void end_payload();
+
+  /// Verifies every reserved entry was sealed; throws std::logic_error
+  /// otherwise. Called by backends after their last payload as a cheap
+  /// format self-check.
+  void finish() const;
+
+ private:
+  friend PayloadIndexBuilder write_common_header(ByteWriter& w, Method method,
+                                                 const amr::AmrDataset& ds,
+                                                 std::size_t n_payloads);
+  PayloadIndexBuilder(ByteWriter& w, std::size_t entries_pos,
+                      std::size_t count)
+      : w_(&w), entries_pos_(entries_pos), count_(count) {}
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  ByteWriter* w_ = nullptr;
+  std::size_t entries_pos_ = 0;  ///< buffer offset of the first entry
+  std::size_t count_ = 0;
+  std::size_t sealed_ = 0;
+  std::size_t open_begin_ = kNone;
+};
+
+/// Writes the v2 outer header — method, field, ratio, level masks — and
+/// reserves a payload index with `n_payloads` entries. The returned
+/// builder must seal exactly `n_payloads` payloads appended directly after
+/// the header.
+[[nodiscard]] PayloadIndexBuilder write_common_header(
+    ByteWriter& w, Method method, const amr::AmrDataset& ds,
+    std::size_t n_payloads);
 
 /// The decoded outer header: a structurally complete dataset whose level
 /// data arrays are zero, ready for a method-specific payload to fill.
 struct CommonHeader {
   Method method = Method::kTac;
+  std::uint8_t version = kFormatVersion;
   amr::AmrDataset skeleton;
+  PayloadIndex index;            ///< empty for v1 containers
+  std::size_t index_offset = 0;  ///< where the index starts (v2) — equals
+                                 ///< payload_offset for v1
+  std::size_t payload_offset = 0;  ///< first byte after header + index
 };
 
 [[nodiscard]] CommonHeader read_common_header(ByteReader& r);
 
-/// Reads only the method tag (cheap sniffing).
+/// Reads only the method tag (cheap sniffing). Throws on bad magic, but
+/// also on an unsupported version or unregistered tag — use is_container
+/// to ask only "does the magic match".
 [[nodiscard]] Method peek_method(std::span<const std::uint8_t> bytes);
+
+/// True when `bytes` starts with the container magic — cheap format
+/// sniffing that, unlike peek_method, never rejects a damaged container.
+[[nodiscard]] bool is_container(std::span<const std::uint8_t> bytes);
+
+/// Verifies index entry `i` against the container bytes: the range must be
+/// in bounds (std::runtime_error otherwise) and its CRC32 must match
+/// (ChecksumError otherwise).
+void verify_payload(std::span<const std::uint8_t> container,
+                    const PayloadIndex& index, std::size_t i);
+
+/// Verifies every entry of the index. No-op for an empty (v1) index.
+void verify_payloads(std::span<const std::uint8_t> container,
+                     const PayloadIndex& index);
+
+/// Shared preamble for backends whose payloads map 1:1 to levels (TAC,
+/// 1D): bounds- and checksum-checks entry `level` and returns a reader
+/// over exactly that payload's bytes. Returns nullopt when the index does
+/// not map to levels (a v1 container) — the caller should fall back to
+/// CompressorBackend::decompress_level's full decode. Throws
+/// std::out_of_range for a level the container does not have.
+[[nodiscard]] std::optional<ByteReader> indexed_level_reader(
+    std::span<const std::uint8_t> container, const CommonHeader& header,
+    std::size_t level);
 
 }  // namespace tac::core
 

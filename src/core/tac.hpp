@@ -78,9 +78,17 @@ struct CompressedAmr {
 /// Decompresses any container produced by this library: reads the common
 /// header and dispatches to whichever CompressorBackend is registered for
 /// the method tag. Unknown tags and truncated buffers raise descriptive
-/// std::runtime_errors.
+/// std::runtime_errors; v2 payload corruption raises ChecksumError.
 [[nodiscard]] amr::AmrDataset decompress_any(
     std::span<const std::uint8_t> bytes);
+
+/// Decompresses a single level of a container — the random-access path the
+/// v2 payload index exists for. For per-level backends (TAC, 1D) only the
+/// requested level's payload bytes are checksummed and decoded (O(level),
+/// not O(dataset)); interleaved backends (zMesh, 3D) fall back to a full
+/// decode. The result is byte-identical to `decompress_any(bytes).level(k)`.
+[[nodiscard]] amr::AmrLevel decompress_level(
+    std::span<const std::uint8_t> bytes, std::size_t level);
 
 }  // namespace tac::core
 

@@ -187,12 +187,16 @@ class RawBackend final : public CompressorBackend {
   [[nodiscard]] CompressedAmr compress(const amr::AmrDataset& ds,
                                        const TacConfig&) const override {
     ByteWriter w;
-    write_common_header(w, kTag, ds);
+    PayloadIndexBuilder index =
+        write_common_header(w, kTag, ds, ds.num_levels());
     for (std::size_t l = 0; l < ds.num_levels(); ++l) {
       const auto& data = ds.level(l).data;
+      index.begin_payload();
       w.put_blob({reinterpret_cast<const std::uint8_t*>(data.span().data()),
                   data.size() * sizeof(double)});
+      index.end_payload();
     }
+    index.finish();
     CompressedAmr out;
     out.bytes = w.take();
     out.report.method = kTag;

@@ -4,6 +4,7 @@
 
 #include "core/adaptive.hpp"
 #include "core/baselines.hpp"
+#include "core/container.hpp"
 #include "core/tac.hpp"
 #include "simnyx/generator.hpp"
 #include "sz/sz.hpp"
@@ -58,15 +59,30 @@ TEST_P(TruncationTest, TruncatedContainersThrowNotCrash) {
 TEST_P(TruncationTest, BitFlipsThrowOrStayStructurallySane) {
   const auto ds = small_dataset();
   const auto bytes = compress_with(GetParam(), ds);
+  core::CommonHeader header = [&] {
+    ByteReader r(bytes);
+    return core::read_common_header(r);
+  }();
+  const auto in_payload = [&](std::size_t pos) {
+    for (const auto& e : header.index.entries)
+      if (pos >= e.offset && pos < e.offset + e.length) return true;
+    return false;
+  };
   std::mt19937 rng(7);
   for (int trial = 0; trial < 24; ++trial) {
     auto corrupted = bytes;
     const std::size_t pos = rng() % corrupted.size();
     corrupted[pos] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
-    // A flipped bit may land in a value payload (silently changing data is
-    // acceptable for a compressor without checksums), but decompression
-    // must either throw or produce a structurally valid dataset — never
-    // crash or hang.
+    if (in_payload(pos)) {
+      // v2 payloads are checksummed: corruption there is always reported
+      // as a ChecksumError, never a misparse or silently wrong data.
+      EXPECT_THROW((void)core::decompress_any(corrupted),
+                   core::ChecksumError)
+          << "flip at " << pos;
+      continue;
+    }
+    // Header/index corruption: decompression must either throw or
+    // produce a structurally valid dataset — never crash or hang.
     try {
       const auto out = core::decompress_any(corrupted);
       EXPECT_EQ(out.num_levels(), ds.num_levels());
