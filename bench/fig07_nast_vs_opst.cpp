@@ -27,7 +27,8 @@ StrategyResult run(const amr::AmrLevel& level, const core::BlockGrid& grid,
                    double rel_eb) {
   const auto subs =
       optimized ? core::opst_extract(occ) : core::nast_extract(occ);
-  const auto groups = core::gather_groups(level, grid, subs);
+  tac::ArenaScope scratch;
+  const auto groups = core::gather_groups(level, grid, subs, scratch);
 
   const auto [lo, hi] = level.valid_range();
   const sz::SzConfig cfg{.mode = sz::ErrorBoundMode::kAbsolute,
@@ -39,8 +40,11 @@ StrategyResult run(const amr::AmrLevel& level, const core::BlockGrid& grid,
     const auto stream = sz::compress<double>(g.buffer, g.block_cell_dims,
                                              cfg, g.members.size());
     compressed_bytes += stream.size();
-    core::BlockGroup rg = g;
-    rg.buffer = sz::decompress<double>(stream);
+    core::BlockGroup rg;
+    rg.block_cell_dims = g.block_cell_dims;
+    rg.members = g.members;
+    rg.owned = sz::decompress<double>(stream);
+    rg.buffer = rg.owned;
     recon_groups.push_back(std::move(rg));
   }
 

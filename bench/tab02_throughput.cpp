@@ -27,6 +27,7 @@ using namespace tac;
 
 struct Measurement {
   double throughput_mbs = 0;
+  double seconds = 0;  ///< timed compress + decompress, generation excluded
   std::size_t compressed_bytes = 0;
   std::size_t index_bytes = 0;
 };
@@ -44,6 +45,7 @@ Measurement measure(const amr::AmrDataset& ds, core::Method method,
 
   Measurement m;
   m.throughput_mbs = throughput_mbs(ds.original_bytes(), secs);
+  m.seconds = secs;
   m.compressed_bytes = compressed.bytes.size();
   ByteReader r(compressed.bytes);
   const core::CommonHeader h = core::read_common_header(r);
@@ -59,7 +61,7 @@ struct JsonRow {
 };
 
 bool write_json(const std::vector<JsonRow>& rows, double aggregate_overhead,
-                const char* path) {
+                double aggregate_seconds, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -67,17 +69,19 @@ bool write_json(const std::vector<JsonRow>& rows, double aggregate_overhead,
   }
   std::fprintf(f,
                "{\n  \"bench\": \"tab02_throughput\",\n"
-               "  \"index_overhead_aggregate\": %.6f,\n  \"rows\": [\n",
-               aggregate_overhead);
+               "  \"index_overhead_aggregate\": %.6f,\n"
+               "  \"aggregate_measure_seconds\": %.3f,\n  \"rows\": [\n",
+               aggregate_overhead, aggregate_seconds);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const JsonRow& row = rows[i];
     std::fprintf(
         f,
         "    {\"dataset\": \"%s\", \"abs_eb\": %.3e, \"method\": \"%s\", "
-        "\"throughput_mbs\": %.2f, \"compressed_bytes\": %zu, "
+        "\"throughput_mbs\": %.2f, \"seconds\": %.4f, "
+        "\"compressed_bytes\": %zu, "
         "\"index_bytes\": %zu, \"index_overhead\": %.6f}%s\n",
         row.dataset.c_str(), row.abs_eb, row.method, row.m.throughput_mbs,
-        row.m.compressed_bytes, row.m.index_bytes,
+        row.m.seconds, row.m.compressed_bytes, row.m.index_bytes,
         static_cast<double>(row.m.index_bytes) /
             static_cast<double>(row.m.compressed_bytes),
         i + 1 == rows.size() ? "" : ",");
@@ -104,6 +108,7 @@ int main() {
   const double ebs[] = {1e8, 1e9, 1e10};
   std::vector<JsonRow> rows;
   double max_overhead = 0;
+  double total_seconds = 0;
   std::size_t total_index = 0, total_compressed = 0;
   std::printf("%-10s %12s %10s %10s %10s %12s\n", "dataset", "abs_eb", "1D",
               "3D", "TAC", "TAC/3D");
@@ -126,6 +131,7 @@ int main() {
                               static_cast<double>(m->compressed_bytes));
         total_index += m->index_bytes;
         total_compressed += m->compressed_bytes;
+        total_seconds += m->seconds;
       }
     }
   }
@@ -134,9 +140,12 @@ int main() {
   // the fixed 20-byte entries dominate) without mattering in practice.
   const double aggregate = static_cast<double>(total_index) /
                            static_cast<double>(total_compressed);
-  const bool json_ok = write_json(rows, aggregate, "BENCH_tab02.json");
+  const bool json_ok =
+      write_json(rows, aggregate, total_seconds, "BENCH_tab02.json");
   std::printf("\n%s BENCH_tab02.json (%zu rows)\n",
               json_ok ? "wrote" : "FAILED to write", rows.size());
+  std::printf("aggregate measured compress+decompress: %.2f s\n",
+              total_seconds);
   std::printf("v2 payload index overhead: %.4f%% of the workload's "
               "compressed bytes (budget: <1%%) %s; worst single container "
               "%.2f%%\n",

@@ -6,7 +6,7 @@
 ///   tac_file_tool compress <in.amr> <out.tac> [rel_eb=1e-4] [method]
 ///   tac_file_tool decompress <in.tac> <out.amr>
 ///   tac_file_tool extract <in.tac> <out.amr> --level=k [--field=f]
-///   tac_file_tool info <file>                 inspect any format
+///   tac_file_tool info <file> [--timing]      inspect any format
 ///
 /// method: tac (default, adaptive), 1d, zmesh, 3d
 ///
@@ -241,8 +241,41 @@ int cmd_extract(const std::string& in, const std::string& out, long level,
   return 0;
 }
 
+/// --timing: decode each payload through the v2 index and report where
+/// decompression time goes. One payload maps to one level for TAC/1D
+/// containers, so this is the per-level random-access cost a reader pays;
+/// single-payload methods (zmesh/3D) time the full decode.
+void print_payload_timing(const std::vector<std::uint8_t>& bytes,
+                          const core::CommonHeader& h) {
+  const std::span<const std::uint8_t> container(bytes);
+  if (h.index.entries.size() == h.skeleton.num_levels()) {
+    double total = 0;
+    for (std::size_t l = 0; l < h.skeleton.num_levels(); ++l) {
+      Timer t;
+      const amr::AmrLevel lv = decode_step([&] {
+        return core::backend_for(h.method).decompress_level(container, h, l);
+      });
+      const double secs = t.seconds();
+      total += secs;
+      const std::size_t valid = lv.valid_count();
+      std::printf(
+          "  payload %zu decode: %8.3f ms, %zu cells, %.1f MB/s\n", l,
+          secs * 1e3, valid,
+          throughput_mbs(valid * sizeof(double), secs));
+    }
+    std::printf("  total per-level decode: %.3f ms\n", total * 1e3);
+    return;
+  }
+  Timer t;
+  const auto ds = decode_step([&] { return core::decompress_any(container); });
+  const double secs = t.seconds();
+  std::printf("  full decode (single payload): %8.3f ms, %.1f MB/s\n",
+              secs * 1e3, throughput_mbs(ds.original_bytes(), secs));
+}
+
 int print_container_info(const std::string& path,
-                         const std::vector<std::uint8_t>& bytes) {
+                         const std::vector<std::uint8_t>& bytes,
+                         bool timing) {
   const core::CommonHeader h = decode_step([&] {
     ByteReader r(bytes);
     return core::read_common_header(r);
@@ -277,6 +310,7 @@ int print_container_info(const std::string& path,
               100.0 * static_cast<double>(index_bytes) /
                   static_cast<double>(bytes.size()),
               all_ok ? "all OK" : "FAILED");
+  if (all_ok && timing) print_payload_timing(bytes, h);
   return all_ok ? 0 : kExitCorrupt;
 }
 
@@ -306,14 +340,24 @@ int print_snapshot_info(const std::string& path,
   return all_ok ? 0 : kExitCorrupt;
 }
 
-int cmd_info(const std::string& path) {
+int cmd_info(const std::string& path, bool timing) {
   const auto bytes = read_file(path);
-  if (core::is_compressed_snapshot(bytes))
+  if (core::is_compressed_snapshot(bytes)) {
+    if (timing)
+      std::fprintf(stderr,
+                   "--timing applies to single-field containers; extract a "
+                   "field first\n");
     return print_snapshot_info(path, bytes);
+  }
   // Only the magic decides the route: once it matches, any parse error
   // (truncation, bad version, bad tag) must surface as this container's
   // error, not a misleading AMR-format one.
-  if (core::is_container(bytes)) return print_container_info(path, bytes);
+  if (core::is_container(bytes))
+    return print_container_info(path, bytes, timing);
+  if (timing) {
+    std::fprintf(stderr, "--timing requires a compressed container\n");
+    return kExitUsage;
+  }
   const auto ds = decode_step([&] { return amr::dataset_from_bytes(bytes); });
   std::printf("%s: AMR snapshot, field '%s', ratio %d, %zu levels\n",
               path.c_str(), ds.field_name().c_str(), ds.refinement_ratio(),
@@ -330,7 +374,7 @@ int demo() {
   if (const int rc = cmd_gen("demo.amr", 64)) return rc;
   if (const int rc = cmd_compress("demo.amr", "demo.tac", 1e-4, "tac"))
     return rc;
-  if (const int rc = cmd_info("demo.tac")) return rc;
+  if (const int rc = cmd_info("demo.tac", /*timing=*/false)) return rc;
   if (const int rc = cmd_decompress("demo.tac", "demo_out.amr")) return rc;
   if (const int rc = cmd_extract("demo.tac", "demo_l0.amr", 0, "")) return rc;
   // Verify the round trip respects the bound.
@@ -351,7 +395,7 @@ int usage(const char* argv0) {
                "usage: %s gen <out.amr> [n] | compress <in> <out> "
                "[rel_eb] [tac|1d|zmesh|3d] | decompress <in> <out> | "
                "extract <in.tac> <out.amr> --level=k [--field=f] | "
-               "info <file>\n",
+               "info <file> [--timing]\n",
                argv0);
   return kExitUsage;
 }
@@ -421,7 +465,16 @@ int main(int argc, char** argv) {
       if (level < 0 && field.empty()) return usage(argv[0]);
       return cmd_extract(argv[2], argv[3], level, field);
     }
-    if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
+    if (cmd == "info" && argc >= 3) {
+      bool timing = false;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--timing") == 0)
+          timing = true;
+        else
+          return usage(argv[0]);
+      }
+      return cmd_info(argv[2], timing);
+    }
     return usage(argv[0]);
   } catch (const IoError& e) {
     std::fprintf(stderr, "I/O error: %s\n", e.what());

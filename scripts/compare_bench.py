@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_tab02.json against the committed baseline.
+
+Usage: compare_bench.py <baseline.json> <current.json> [tolerance]
+
+Fails (exit 1) if the current aggregate_measure_seconds is more than
+`tolerance` (default 10%) above the baseline. Timed sections exclude
+data generation, so the aggregate tracks compressor work only. A faster
+run never fails; print the ratio either way so the CI log shows the
+trajectory.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.10
+    with open(sys.argv[1]) as f:
+        base = json.load(f)
+    with open(sys.argv[2]) as f:
+        cur = json.load(f)
+
+    base_s = base["aggregate_measure_seconds"]
+    cur_s = cur["aggregate_measure_seconds"]
+    ratio = cur_s / base_s
+    print(f"baseline {base_s:.3f}s, current {cur_s:.3f}s, "
+          f"ratio {ratio:.3f} (tolerance +{tolerance:.0%})")
+
+    if ratio > 1.0 + tolerance:
+        print("FAIL: aggregate regressed beyond tolerance")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "amr/amr_io.hpp"
 
+#include <bit>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -15,7 +16,22 @@ constexpr std::uint8_t kVersion = 1;
 
 std::vector<std::uint8_t> pack_mask(std::span<const std::uint8_t> mask) {
   std::vector<std::uint8_t> out((mask.size() + 7) / 8, 0);
-  for (std::size_t i = 0; i < mask.size(); ++i)
+  std::size_t i = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    // Eight mask bytes at a time: collapse each byte to its "nonzero"
+    // bit, then gather the eight indicator bits (LSB-first, matching the
+    // scalar loop) with one multiply. Bit-identical to the byte loop.
+    constexpr std::uint64_t kLow7 = 0x7f7f7f7f7f7f7f7fULL;
+    constexpr std::uint64_t kOnes = 0x0101010101010101ULL;
+    constexpr std::uint64_t kGather = 0x0102040810204080ULL;
+    for (; i + 8 <= mask.size(); i += 8) {
+      std::uint64_t v;
+      std::memcpy(&v, mask.data() + i, 8);
+      const std::uint64_t nonzero = (((v & kLow7) + kLow7) | v) >> 7 & kOnes;
+      out[i / 8] = static_cast<std::uint8_t>((nonzero * kGather) >> 56);
+    }
+  }
+  for (; i < mask.size(); ++i)
     if (mask[i]) out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
   return out;
 }
@@ -25,8 +41,20 @@ std::vector<std::uint8_t> unpack_mask(std::span<const std::uint8_t> packed,
   if (packed.size() < (count + 7) / 8)
     throw std::runtime_error("unpack_mask: truncated mask");
   std::vector<std::uint8_t> out(count);
-  for (std::size_t i = 0; i < count; ++i)
-    out[i] = (packed[i / 8] >> (i % 8)) & 1u;
+  std::size_t i = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    // Spread one packed byte to eight 0/1 bytes: replicate it, isolate
+    // bit i in byte i, then force each nonzero byte to exactly 1.
+    constexpr std::uint64_t kOnes = 0x0101010101010101ULL;
+    constexpr std::uint64_t kSelect = 0x8040201008040201ULL;
+    constexpr std::uint64_t kLow7 = 0x7f7f7f7f7f7f7f7fULL;
+    for (; i + 8 <= count; i += 8) {
+      const std::uint64_t m = (packed[i / 8] * kOnes) & kSelect;
+      const std::uint64_t bits = ((m + kLow7) >> 7) & kOnes;
+      std::memcpy(out.data() + i, &bits, 8);
+    }
+  }
+  for (; i < count; ++i) out[i] = (packed[i / 8] >> (i % 8)) & 1u;
   return out;
 }
 
@@ -77,7 +105,8 @@ AmrDataset dataset_from_bytes(std::span<const std::uint8_t> bytes) {
     if (value_bytes.size() % sizeof(double) != 0)
       throw std::runtime_error("amr_io: bad value payload");
     std::vector<double> values(value_bytes.size() / sizeof(double));
-    std::memcpy(values.data(), value_bytes.data(), value_bytes.size());
+    if (!value_bytes.empty())
+      std::memcpy(values.data(), value_bytes.data(), value_bytes.size());
     lv.scatter_valid(values);
     levels.push_back(std::move(lv));
   }

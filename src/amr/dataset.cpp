@@ -13,6 +13,13 @@ std::vector<double> AmrLevel::gather_valid() const {
   return out;
 }
 
+std::size_t AmrLevel::gather_valid_into(std::span<double> out) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (mask[i]) out[n++] = data[i];
+  return n;
+}
+
 void AmrLevel::scatter_valid(std::span<const double> values) {
   std::size_t vi = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {

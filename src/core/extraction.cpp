@@ -187,7 +187,8 @@ std::vector<SubBlock> akdtree_extract(const Array3D<std::uint8_t>& occupancy) {
 
 std::vector<BlockGroup> gather_groups(const amr::AmrLevel& level,
                                       const BlockGrid& grid,
-                                      const std::vector<SubBlock>& sub_blocks) {
+                                      const std::vector<SubBlock>& sub_blocks,
+                                      ArenaScope& scratch) {
   const std::size_t B = grid.block_size();
   const Dims3 cells = grid.cell_dims();
 
@@ -207,7 +208,7 @@ std::vector<BlockGroup> gather_groups(const amr::AmrLevel& level,
 
   for (BlockGroup& g : groups) {
     const std::size_t vol = g.block_cell_dims.volume();
-    g.buffer.assign(vol * g.members.size(), 0.0);
+    g.buffer = scratch.alloc_zero<double>(vol * g.members.size());
     parallel_for(0, g.members.size(), [&](std::size_t mi) {
       const SubBlock& sb = g.members[mi];
       double* dst = g.buffer.data() + mi * vol;

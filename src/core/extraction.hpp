@@ -10,9 +10,11 @@
 /// the non-empty unit blocks. Sub-blocks of equal extents are then merged
 /// into one buffer ("4D array") and compressed as a batch.
 
+#include <span>
 #include <vector>
 
 #include "amr/dataset.hpp"
+#include "common/arena.hpp"
 #include "common/array3d.hpp"
 #include "core/block_grid.hpp"
 
@@ -39,17 +41,24 @@ namespace tac::core {
     const Array3D<std::uint8_t>& occupancy);
 
 /// Equal-extent sub-blocks merged into one contiguous buffer.
+///
+/// `buffer` (members.size() * block_cell_dims.volume() cells) is a view:
+/// on the encode path it points into the caller's ArenaScope so the level
+/// pipeline reuses scratch instead of heap-allocating per group; on the
+/// decode path it views `owned`, which holds the decompressed values.
 struct BlockGroup {
   Dims3 block_cell_dims;          ///< extents of one sub-block, in cells
   std::vector<SubBlock> members;  ///< placement metadata
-  std::vector<double> buffer;     ///< members.size() * block_cell_dims.volume()
+  std::span<double> buffer;
+  std::vector<double> owned;      ///< decode-side backing store for buffer
 };
 
 /// Gathers sub-block cell data from the level into per-extent groups.
-/// Cells past the level boundary (clipped edge blocks) read as 0.
+/// Cells past the level boundary (clipped edge blocks) read as 0. Group
+/// buffers are allocated from `scratch` and stay valid until it closes.
 [[nodiscard]] std::vector<BlockGroup> gather_groups(
     const amr::AmrLevel& level, const BlockGrid& grid,
-    const std::vector<SubBlock>& sub_blocks);
+    const std::vector<SubBlock>& sub_blocks, ArenaScope& scratch);
 
 /// Scatters decompressed group buffers back into the level's data array.
 /// Cells past the level boundary are skipped; invalid cells are zeroed

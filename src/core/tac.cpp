@@ -78,7 +78,8 @@ DecodedGroups deserialize_groups(ByteReader& r, std::size_t block_size) {
       grp.members.push_back(sb);
     }
     const auto stream = r.get_blob();
-    grp.buffer = sz::decompress<double>(stream);
+    grp.owned = sz::decompress<double>(stream);
+    grp.buffer = grp.owned;
     const std::size_t expect = grp.block_cell_dims.volume() * nmembers;
     if (grp.buffer.size() != expect)
       throw std::runtime_error("tac: group payload size mismatch");
@@ -167,7 +168,11 @@ LevelOutput compress_level(const amr::AmrDataset& ds, std::size_t level,
         subs = opst_extract(occ);
       else
         subs = akdtree_extract(occ);
-      auto groups = gather_groups(lv, grid, subs);
+      // Arena-backed group buffers: gathered, compressed and serialized
+      // before the scope closes, so a steady-state level pipeline reuses
+      // the same retained blocks instead of heap-allocating per group.
+      ArenaScope scratch;
+      auto groups = gather_groups(lv, grid, subs, scratch);
       lr.preprocess_seconds = pre.seconds();
       lr.n_sub_blocks = subs.size();
       lr.n_groups = groups.size();

@@ -37,8 +37,18 @@ struct HuffmanTable {
 [[nodiscard]] std::vector<std::uint8_t> huffman_encode(
     const HuffmanTable& table, std::span<const std::uint32_t> symbols);
 
-/// Decodes exactly `count` symbols from `payload`.
+/// Decodes exactly `count` symbols from `payload` with a table-driven
+/// canonical decoder (12-bit primary probe + by-length overflow walk).
+/// Validates up front that the payload can possibly hold `count` symbols,
+/// so truncated payloads fail in O(1) instead of after a full scan.
 [[nodiscard]] std::vector<std::uint32_t> huffman_decode(
+    const HuffmanTable& table, std::span<const std::uint8_t> payload,
+    std::size_t count);
+
+/// Bit-at-a-time reference decoder: the equivalence oracle for the table
+/// decoder (fuzz tests, micro benchmark). Same results, ~an order of
+/// magnitude slower.
+[[nodiscard]] std::vector<std::uint32_t> huffman_decode_reference(
     const HuffmanTable& table, std::span<const std::uint8_t> payload,
     std::size_t count);
 

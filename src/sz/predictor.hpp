@@ -18,6 +18,13 @@
 
 namespace tac::sz {
 
+/// Non-finite values predict as zero so one stored NaN cannot poison
+/// subsequent predictions. Shared by ReconView and the row kernels in
+/// sz.cpp, which must agree bit-for-bit.
+[[nodiscard]] inline double finite_or_zero(double v) {
+  return std::isfinite(v) ? v : 0.0;
+}
+
 /// Reads a reconstructed neighbour for prediction; non-finite values are
 /// treated as zero so one stored NaN cannot poison subsequent predictions.
 template <class T>
@@ -26,8 +33,7 @@ struct ReconView {
   Dims3 dims;
 
   [[nodiscard]] double at(std::size_t x, std::size_t y, std::size_t z) const {
-    const double v = static_cast<double>(data[dims.index(x, y, z)]);
-    return std::isfinite(v) ? v : 0.0;
+    return finite_or_zero(static_cast<double>(data[dims.index(x, y, z)]));
   }
   /// Neighbour read with zero extension below the block origin. dx/dy/dz
   /// are 0 or 1 offsets *subtracted* from (x, y, z).

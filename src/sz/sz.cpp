@@ -6,8 +6,10 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/arena.hpp"
 #include "common/bytes.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "lossless/codec.hpp"
 #include "lossless/huffman.hpp"
 #include "sz/predictor.hpp"
@@ -26,27 +28,262 @@ enum class StreamKind : std::uint8_t {
   kPwRel = 2,  // log-transformed payload for point-wise relative bounds
 };
 
-struct Range {
-  double lo = std::numeric_limits<double>::infinity();
-  double hi = -std::numeric_limits<double>::infinity();
-  bool all_identical = true;
-};
+// ---------------------------------------------------------------------------
+// Range scan (min/max/constant detection), SIMD-dispatched.
+//
+// Every path — scalar, SSE4.2, AVX2 — observes the same rules: non-finite
+// values are excluded from lo/hi, and all_identical compares raw bit
+// patterns against element 0 (so NaN payloads and -0.0 vs 0.0 count as
+// different). lo/hi never reach the serialized stream directly (only
+// hi - lo does), so tie-breaking of equal values cannot change bytes.
+// ---------------------------------------------------------------------------
 
 template <class T>
-Range scan_range(std::span<const T> data) {
-  Range r;
-  if (data.empty()) return r;
-  const T first = data[0];
-  for (const T v : data) {
-    if (std::memcmp(&v, &first, sizeof(T)) != 0) r.all_identical = false;
-    const auto d = static_cast<double>(v);
+void scan_tail(const T* p, std::size_t i, std::size_t n, T first,
+               ValueRange& r) {
+  for (; i < n; ++i) {
+    if (std::memcmp(p + i, &first, sizeof(T)) != 0) r.all_identical = false;
+    const auto d = static_cast<double>(p[i]);
     if (std::isfinite(d)) {
       r.lo = std::min(r.lo, d);
       r.hi = std::max(r.hi, d);
     }
   }
+}
+
+template <class T>
+ValueRange scan_range_scalar(const T* p, std::size_t n) {
+  ValueRange r;
+  r.lo = std::numeric_limits<double>::infinity();
+  r.hi = -std::numeric_limits<double>::infinity();
+  if (n == 0) return r;
+  scan_tail(p, 0, n, p[0], r);
   return r;
 }
+
+#if TAC_SIMD_X86 && defined(__GNUC__)
+
+__attribute__((target("avx2"))) ValueRange scan_range_avx2(const double* p,
+                                                           std::size_t n) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ValueRange r;
+  r.lo = kInf;
+  r.hi = -kInf;
+  if (n == 0) return r;
+  const double first = p[0];
+  std::size_t i = 0;
+  if (n >= 4) {
+    const __m256d vinf = _mm256_set1_pd(kInf);
+    const __m256d vninf = _mm256_set1_pd(-kInf);
+    const __m256d absmask = _mm256_castsi256_pd(
+        _mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+    const __m256i vfirst = _mm256_castpd_si256(_mm256_set1_pd(first));
+    __m256i vident = _mm256_set1_epi64x(-1);
+    __m256d vlo = vinf;
+    __m256d vhi = vninf;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d v = _mm256_loadu_pd(p + i);
+      vident = _mm256_and_si256(
+          vident, _mm256_cmpeq_epi64(_mm256_castpd_si256(v), vfirst));
+      const __m256d mag = _mm256_and_pd(v, absmask);
+      const __m256d fin = _mm256_cmp_pd(mag, vinf, _CMP_LT_OQ);
+      vlo = _mm256_min_pd(vlo, _mm256_blendv_pd(vinf, v, fin));
+      vhi = _mm256_max_pd(vhi, _mm256_blendv_pd(vninf, v, fin));
+    }
+    if (_mm256_movemask_epi8(vident) != -1) r.all_identical = false;
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, vlo);
+    for (const double d : lanes) r.lo = std::min(r.lo, d);
+    _mm256_store_pd(lanes, vhi);
+    for (const double d : lanes) r.hi = std::max(r.hi, d);
+  }
+  scan_tail(p, i, n, first, r);
+  return r;
+}
+
+__attribute__((target("avx2"))) ValueRange scan_range_avx2(const float* p,
+                                                           std::size_t n) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  ValueRange r;
+  r.lo = std::numeric_limits<double>::infinity();
+  r.hi = -std::numeric_limits<double>::infinity();
+  if (n == 0) return r;
+  const float first = p[0];
+  std::size_t i = 0;
+  if (n >= 8) {
+    const __m256 vinf = _mm256_set1_ps(kInf);
+    const __m256 vninf = _mm256_set1_ps(-kInf);
+    const __m256 absmask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+    const __m256i vfirst = _mm256_castps_si256(_mm256_set1_ps(first));
+    __m256i vident = _mm256_set1_epi32(-1);
+    __m256 vlo = vinf;
+    __m256 vhi = vninf;
+    for (; i + 8 <= n; i += 8) {
+      const __m256 v = _mm256_loadu_ps(p + i);
+      vident = _mm256_and_si256(
+          vident, _mm256_cmpeq_epi32(_mm256_castps_si256(v), vfirst));
+      const __m256 mag = _mm256_and_ps(v, absmask);
+      const __m256 fin = _mm256_cmp_ps(mag, vinf, _CMP_LT_OQ);
+      vlo = _mm256_min_ps(vlo, _mm256_blendv_ps(vinf, v, fin));
+      vhi = _mm256_max_ps(vhi, _mm256_blendv_ps(vninf, v, fin));
+    }
+    if (_mm256_movemask_epi8(vident) != -1) r.all_identical = false;
+    // float->double conversion is exact, so reducing in float then widening
+    // equals the scalar double-domain reduction.
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, vlo);
+    for (const float f : lanes) r.lo = std::min(r.lo, static_cast<double>(f));
+    _mm256_store_ps(lanes, vhi);
+    for (const float f : lanes) r.hi = std::max(r.hi, static_cast<double>(f));
+  }
+  scan_tail(p, i, n, first, r);
+  return r;
+}
+
+__attribute__((target("sse4.2"))) ValueRange scan_range_sse42(const double* p,
+                                                              std::size_t n) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ValueRange r;
+  r.lo = kInf;
+  r.hi = -kInf;
+  if (n == 0) return r;
+  const double first = p[0];
+  std::size_t i = 0;
+  if (n >= 2) {
+    const __m128d vinf = _mm_set1_pd(kInf);
+    const __m128d vninf = _mm_set1_pd(-kInf);
+    const __m128d absmask =
+        _mm_castsi128_pd(_mm_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+    const __m128i vfirst = _mm_castpd_si128(_mm_set1_pd(first));
+    __m128i vident = _mm_set1_epi32(-1);
+    __m128d vlo = vinf;
+    __m128d vhi = vninf;
+    for (; i + 2 <= n; i += 2) {
+      const __m128d v = _mm_loadu_pd(p + i);
+      vident = _mm_and_si128(vident,
+                             _mm_cmpeq_epi64(_mm_castpd_si128(v), vfirst));
+      const __m128d mag = _mm_and_pd(v, absmask);
+      const __m128d fin = _mm_cmplt_pd(mag, vinf);
+      vlo = _mm_min_pd(vlo, _mm_blendv_pd(vinf, v, fin));
+      vhi = _mm_max_pd(vhi, _mm_blendv_pd(vninf, v, fin));
+    }
+    if (_mm_movemask_epi8(vident) != 0xFFFF) r.all_identical = false;
+    alignas(16) double lanes[2];
+    _mm_store_pd(lanes, vlo);
+    for (const double d : lanes) r.lo = std::min(r.lo, d);
+    _mm_store_pd(lanes, vhi);
+    for (const double d : lanes) r.hi = std::max(r.hi, d);
+  }
+  scan_tail(p, i, n, first, r);
+  return r;
+}
+
+__attribute__((target("sse4.2"))) ValueRange scan_range_sse42(const float* p,
+                                                              std::size_t n) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  ValueRange r;
+  r.lo = std::numeric_limits<double>::infinity();
+  r.hi = -std::numeric_limits<double>::infinity();
+  if (n == 0) return r;
+  const float first = p[0];
+  std::size_t i = 0;
+  if (n >= 4) {
+    const __m128 vinf = _mm_set1_ps(kInf);
+    const __m128 vninf = _mm_set1_ps(-kInf);
+    const __m128 absmask = _mm_castsi128_ps(_mm_set1_epi32(0x7FFFFFFF));
+    const __m128i vfirst = _mm_castps_si128(_mm_set1_ps(first));
+    __m128i vident = _mm_set1_epi32(-1);
+    __m128 vlo = vinf;
+    __m128 vhi = vninf;
+    for (; i + 4 <= n; i += 4) {
+      const __m128 v = _mm_loadu_ps(p + i);
+      vident = _mm_and_si128(vident,
+                             _mm_cmpeq_epi32(_mm_castps_si128(v), vfirst));
+      const __m128 mag = _mm_and_ps(v, absmask);
+      const __m128 fin = _mm_cmplt_ps(mag, vinf);
+      vlo = _mm_min_ps(vlo, _mm_blendv_ps(vinf, v, fin));
+      vhi = _mm_max_ps(vhi, _mm_blendv_ps(vninf, v, fin));
+    }
+    if (_mm_movemask_epi8(vident) != 0xFFFF) r.all_identical = false;
+    alignas(16) float lanes[4];
+    _mm_store_ps(lanes, vlo);
+    for (const float f : lanes) r.lo = std::min(r.lo, static_cast<double>(f));
+    _mm_store_ps(lanes, vhi);
+    for (const float f : lanes) r.hi = std::max(r.hi, static_cast<double>(f));
+  }
+  scan_tail(p, i, n, first, r);
+  return r;
+}
+
+#endif  // TAC_SIMD_X86 && __GNUC__
+
+// ---------------------------------------------------------------------------
+// Sign-bit packing (LSB-first per byte), SIMD-dispatched. movemask reads
+// the raw IEEE sign bit, which matches std::signbit for every value
+// including -0.0 and negative NaNs.
+// ---------------------------------------------------------------------------
+
+template <class T>
+void pack_sign_tail(const T* p, std::size_t i, std::size_t n,
+                    std::uint8_t* out) {
+  for (; i < n; ++i)
+    if (std::signbit(static_cast<double>(p[i])))
+      out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+}
+
+#if TAC_SIMD_X86 && defined(__GNUC__)
+
+__attribute__((target("avx2"))) void pack_sign_avx2(const double* p,
+                                                    std::size_t n,
+                                                    std::uint8_t* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int lo = _mm256_movemask_pd(_mm256_loadu_pd(p + i));
+    const int hi = _mm256_movemask_pd(_mm256_loadu_pd(p + i + 4));
+    out[i / 8] = static_cast<std::uint8_t>(lo | (hi << 4));
+  }
+  pack_sign_tail(p, i, n, out);
+}
+
+__attribute__((target("avx2"))) void pack_sign_avx2(const float* p,
+                                                    std::size_t n,
+                                                    std::uint8_t* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    out[i / 8] =
+        static_cast<std::uint8_t>(_mm256_movemask_ps(_mm256_loadu_ps(p + i)));
+  pack_sign_tail(p, i, n, out);
+}
+
+__attribute__((target("sse4.2"))) void pack_sign_sse42(const double* p,
+                                                       std::size_t n,
+                                                       std::uint8_t* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int b0 = _mm_movemask_pd(_mm_loadu_pd(p + i));
+    const int b1 = _mm_movemask_pd(_mm_loadu_pd(p + i + 2));
+    const int b2 = _mm_movemask_pd(_mm_loadu_pd(p + i + 4));
+    const int b3 = _mm_movemask_pd(_mm_loadu_pd(p + i + 6));
+    out[i / 8] =
+        static_cast<std::uint8_t>(b0 | (b1 << 2) | (b2 << 4) | (b3 << 6));
+  }
+  pack_sign_tail(p, i, n, out);
+}
+
+__attribute__((target("sse4.2"))) void pack_sign_sse42(const float* p,
+                                                       std::size_t n,
+                                                       std::uint8_t* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int lo = _mm_movemask_ps(_mm_loadu_ps(p + i));
+    const int hi = _mm_movemask_ps(_mm_loadu_ps(p + i + 4));
+    out[i / 8] = static_cast<std::uint8_t>(lo | (hi << 4));
+  }
+  pack_sign_tail(p, i, n, out);
+}
+
+#endif  // TAC_SIMD_X86 && __GNUC__
 
 /// Per-block tiling for the SZ2-style hybrid predictor: which tiles use
 /// regression and their plane coefficients. `fit_index[tile]` is -1 for
@@ -107,61 +344,199 @@ TilePlan plan_tiles(const T* block, Dims3 dims, std::size_t pb) {
   return plan;
 }
 
-/// Prediction dispatch shared by compressor and decompressor. `recon`
-/// holds already-reconstructed values for Lorenzo reads.
+// ---------------------------------------------------------------------------
+// Row kernels.
+//
+// The historical per-cell loop dispatched the predictor (tile lookup,
+// boundary handling, 3D index arithmetic) for every cell. The kernels
+// below hoist all of that out of the inner x loop: boundary rows/cells go
+// through the generic lorenzo_predict (bit-identical by construction, and
+// its `0.0 + b` zero-extension terms are NOT removable — they normalize
+// -0.0), while interior cells evaluate the identical expression tree
+//     ((((((a + b) + c) - d) - e) - f) + g)
+// from direct row-pointer loads. No term is reassociated, so every
+// prediction — and therefore every output byte — is unchanged.
+//
+// The quantizer is latency-bound, not throughput-bound: each cell's
+// prediction needs the previous cell's reconstruction, so the 6-add
+// stencil, the residual divide and the round sit on one loop-carried
+// chain (~60 cycles). The Lorenzo path therefore interleaves two
+// adjacent rows at a 2-cell stagger: row y+1 only ever reads row y cells
+// that retired at least two iterations earlier, so the two chains are
+// independent and overlap in the pipeline. This is a reschedule of the
+// same dataflow graph — every cell still sees bit-identical inputs.
+// ---------------------------------------------------------------------------
+
+/// Stagger distance of the second interleaved row. Must be >= 1 so row
+/// y+1 never reads a row-y cell from the same iteration; 2 keeps the
+/// just-written neighbour out of store-to-load forwarding stalls.
+constexpr std::size_t kRowLag = 2;
+
+/// Interior Lorenzo prediction from hoisted row pointers. `left` is the
+/// already-filtered west neighbour carried by the caller. always_inline:
+/// a real call per cell costs more than the prediction itself.
 template <class T>
-double predict_cell(const ReconView<T>& recon, const TilePlan* plan,
-                    Dims3 dims, std::size_t x, std::size_t y,
-                    std::size_t z) {
-  if (plan != nullptr) {
-    const std::size_t pb = plan->pred_block;
-    const std::size_t t =
-        plan->tiles.index(x / pb, y / pb, z / pb);
-    const std::int32_t fi = plan->fit_index[t];
-    if (fi >= 0) {
-      const Box3 box =
-          plan->tile_box(dims, x / pb, y / pb, z / pb);
-      return plane_predict(plan->fits[static_cast<std::size_t>(fi)], box, x,
-                           y, z);
-    }
-  }
-  return lorenzo_predict(recon, x, y, z);
+[[gnu::always_inline]] inline double lorenzo_row_predict(double left,
+                                                         const T* ym,
+                                                         const T* zm,
+                                                         const T* yzm,
+                                                         std::size_t x) {
+  return ((((((left + finite_or_zero(static_cast<double>(ym[x]))) +
+              finite_or_zero(static_cast<double>(zm[x]))) -
+             finite_or_zero(static_cast<double>(ym[x - 1]))) -
+            finite_or_zero(static_cast<double>(zm[x - 1]))) -
+           finite_or_zero(static_cast<double>(yzm[x]))) +
+          finite_or_zero(static_cast<double>(yzm[x - 1])));
 }
 
-/// Quantizes one block in place: fills `codes` (volume entries) and appends
-/// exact values for outliers. `recon` holds the values the decompressor
-/// will see; predictions read from it.
+/// Quantizes one block: fills `codes` and `recon` (the values the
+/// decompressor will see). Returns the number of outliers (codes[i] == 0
+/// cells); their exact values are collected by a second pass in compress.
 template <class T>
-void quantize_block(const T* block, Dims3 dims, double eb,
-                    std::uint32_t radius, std::uint32_t* codes, T* recon,
-                    std::vector<T>& outliers, const TilePlan* plan) {
+std::size_t quantize_block(const T* block, Dims3 dims, double eb,
+                           std::uint32_t radius, std::uint32_t* codes,
+                           T* recon, const TilePlan* plan) {
   const ReconView<T> view{recon, dims};
-  std::size_t i = 0;
-  for (std::size_t z = 0; z < dims.nz; ++z)
-    for (std::size_t y = 0; y < dims.ny; ++y)
-      for (std::size_t x = 0; x < dims.nx; ++x, ++i) {
-        const double value = static_cast<double>(block[i]);
-        const double pred = predict_cell(view, plan, dims, x, y, z);
-        bool outlier = true;
-        if (eb > 0) {
-          QuantResult q = quantize(value, pred, eb, radius);
-          if (!q.outlier) {
-            // The decompressor stores T; validate the bound on the rounded
-            // value so float truncation cannot break the contract.
-            const T stored = static_cast<T>(q.reconstructed);
-            if (std::fabs(static_cast<double>(stored) - value) <= eb) {
-              codes[i] = q.code;
-              recon[i] = stored;
-              outlier = false;
-            }
-          }
-        }
-        if (outlier) {
-          codes[i] = 0;
-          recon[i] = block[i];  // exact
-          outliers.push_back(block[i]);
+  const std::size_t nx = dims.nx;
+  const std::size_t nxy = dims.nx * dims.ny;
+  std::size_t n_outliers = 0;
+
+  // Returns the just-reconstructed value, filtered, so callers can carry
+  // the west neighbour in a register instead of reloading recon[i].
+  const auto cell = [&](std::size_t i, double pred)
+      __attribute__((always_inline)) -> double {
+    const double value = static_cast<double>(block[i]);
+    if (eb > 0) {
+      QuantResult q = quantize(value, pred, eb, radius);
+      if (!q.outlier) {
+        // The decompressor stores T; validate the bound on the rounded
+        // value so float truncation cannot break the contract.
+        const T stored = static_cast<T>(q.reconstructed);
+        if (std::fabs(static_cast<double>(stored) - value) <= eb) {
+          codes[i] = q.code;
+          recon[i] = stored;
+          return finite_or_zero(static_cast<double>(stored));
         }
       }
+    }
+    codes[i] = 0;
+    recon[i] = block[i];  // exact
+    ++n_outliers;
+    return finite_or_zero(static_cast<double>(block[i]));
+  };
+
+  if (plan == nullptr) {
+    for (std::size_t z = 0; z < dims.nz; ++z) {
+      const std::size_t plane = z * nxy;
+      if (z == 0) {
+        for (std::size_t y = 0; y < dims.ny; ++y)
+          for (std::size_t x = 0; x < nx; ++x)
+            cell(plane + y * nx + x, lorenzo_predict(view, x, y, z));
+        continue;
+      }
+      for (std::size_t x = 0; x < nx; ++x)
+        cell(plane + x, lorenzo_predict(view, x, 0, z));
+      std::size_t y = 1;
+      // Interleave triples of interior rows, each staggered kRowLag cells
+      // behind the one above: row y+1's cell x only reads row-y cells
+      // <= x - 1, all retired at least kRowLag iterations earlier, so the
+      // three dependency chains are independent and overlap.
+      for (; y + 2 < dims.ny; y += 3) {
+        const std::size_t r0 = plane + y * nx;
+        const std::size_t r1 = r0 + nx;
+        const std::size_t r2 = r1 + nx;
+        const T* rc0 = recon + r0;
+        const T* ym0 = rc0 - nx;
+        const T* zm0 = rc0 - nxy;
+        const T* yzm0 = zm0 - nx;
+        const T* ym1 = rc0;
+        const T* zm1 = zm0 + nx;
+        const T* yzm1 = zm0;
+        const T* ym2 = rc0 + nx;
+        const T* zm2 = zm1 + nx;
+        const T* yzm2 = zm1;
+        double l0 = cell(r0, lorenzo_predict(view, 0, y, z));
+        double l1 = cell(r1, lorenzo_predict(view, 0, y + 1, z));
+        double l2 = cell(r2, lorenzo_predict(view, 0, y + 2, z));
+        for (std::size_t x = 1; x < nx + 2 * kRowLag; ++x) {
+          if (x < nx)
+            l0 = cell(r0 + x, lorenzo_row_predict(l0, ym0, zm0, yzm0, x));
+          if (x >= 1 + kRowLag && x < nx + kRowLag) {
+            const std::size_t xb = x - kRowLag;
+            l1 = cell(r1 + xb, lorenzo_row_predict(l1, ym1, zm1, yzm1, xb));
+          }
+          if (x >= 1 + 2 * kRowLag) {
+            const std::size_t xc = x - 2 * kRowLag;
+            l2 = cell(r2 + xc, lorenzo_row_predict(l2, ym2, zm2, yzm2, xc));
+          }
+        }
+      }
+      for (; y < dims.ny; ++y) {
+        const std::size_t row = plane + y * nx;
+        const T* rc = recon + row;
+        const T* ym = rc - nx;
+        const T* zm = rc - nxy;
+        const T* yzm = zm - nx;
+        double left = cell(row, lorenzo_predict(view, 0, y, z));
+        for (std::size_t x = 1; x < nx; ++x)
+          left = cell(row + x, lorenzo_row_predict(left, ym, zm, yzm, x));
+      }
+    }
+    return n_outliers;
+  }
+
+  const std::size_t pb = plan->pred_block;
+  for (std::size_t z = 0; z < dims.nz; ++z) {
+    const std::size_t tz = z / pb;
+    for (std::size_t y = 0; y < dims.ny; ++y) {
+      const std::size_t ty = y / pb;
+      const std::size_t row = z * nxy + y * nx;
+      const T* rc = recon + row;
+      for (std::size_t tx = 0; tx < plan->tiles.nx; ++tx) {
+        const std::size_t x0 = tx * pb;
+        const std::size_t x1 = std::min(nx, x0 + pb);
+        const std::int32_t fi = plan->fit_index[plan->tiles.index(tx, ty, tz)];
+        if (fi >= 0) {
+          const Box3 box = plan->tile_box(dims, tx, ty, tz);
+          const PlaneFit& f = plan->fits[static_cast<std::size_t>(fi)];
+          const double cx =
+              (static_cast<double>(box.x1 - box.x0) - 1) / 2.0;
+          const double cy =
+              (static_cast<double>(box.y1 - box.y0) - 1) / 2.0;
+          const double cz =
+              (static_cast<double>(box.z1 - box.z0) - 1) / 2.0;
+          const double b0 = static_cast<double>(f.b0);
+          const double bx = static_cast<double>(f.bx);
+          const double byuy = static_cast<double>(f.by) *
+                              (static_cast<double>(y - box.y0) - cy);
+          const double bzuz = static_cast<double>(f.bz) *
+                              (static_cast<double>(z - box.z0) - cz);
+          for (std::size_t x = x0; x < x1; ++x)
+            cell(row + x,
+                 ((b0 + bx * (static_cast<double>(x - box.x0) - cx)) + byuy) +
+                     bzuz);
+        } else if (z == 0 || y == 0) {
+          for (std::size_t x = x0; x < x1; ++x)
+            cell(row + x, lorenzo_predict(view, x, y, z));
+        } else {
+          const T* ym = rc - nx;
+          const T* zm = rc - nxy;
+          const T* yzm = zm - nx;
+          std::size_t x = x0;
+          double left = 0;
+          if (x == 0) {
+            left = cell(row, lorenzo_predict(view, 0, y, z));
+            ++x;
+          } else {
+            left = finite_or_zero(static_cast<double>(rc[x - 1]));
+          }
+          for (; x < x1; ++x)
+            left = cell(row + x, lorenzo_row_predict(left, ym, zm, yzm, x));
+        }
+      }
+    }
+  }
+  return n_outliers;
 }
 
 template <class T>
@@ -170,36 +545,227 @@ void reconstruct_block(const std::uint32_t* codes, Dims3 dims, double eb,
                        std::size_t n_outliers, T* out,
                        const TilePlan* plan) {
   const ReconView<T> view{out, dims};
+  const std::size_t nx = dims.nx;
+  const std::size_t nxy = dims.nx * dims.ny;
   std::size_t oi = 0;
-  std::size_t i = 0;
-  for (std::size_t z = 0; z < dims.nz; ++z)
-    for (std::size_t y = 0; y < dims.ny; ++y)
-      for (std::size_t x = 0; x < dims.nx; ++x, ++i) {
-        const std::uint32_t code = codes[i];
-        if (code == 0) {
-          if (oi >= n_outliers)
-            throw std::runtime_error("sz: outlier stream underrun");
-          out[i] = outliers[oi++];
+
+  const auto take_outlier = [&](std::size_t i) {
+    if (oi >= n_outliers)
+      throw std::runtime_error("sz: outlier stream underrun");
+    out[i] = outliers[oi++];
+  };
+
+  if (plan == nullptr) {
+    // Dequantized cell with an explicit outlier cursor (so interleaved
+    // rows can each hold their own scan-order position). Every neighbour
+    // a prediction reads precedes the cell in scan order, so computing
+    // pred eagerly only ever touches already-written memory.
+    const auto rcell = [&](std::size_t i, double pred, std::size_t& oix)
+        __attribute__((always_inline)) -> double {
+      const std::uint32_t code = codes[i];
+      T v;
+      if (code == 0) {
+        if (oix >= n_outliers)
+          throw std::runtime_error("sz: outlier stream underrun");
+        v = outliers[oix++];
+      } else {
+        v = static_cast<T>(dequantize(code, pred, eb, radius));
+      }
+      out[i] = v;
+      return finite_or_zero(static_cast<double>(v));
+    };
+
+    for (std::size_t z = 0; z < dims.nz; ++z) {
+      const std::size_t plane = z * nxy;
+      if (z == 0) {
+        for (std::size_t y = 0; y < dims.ny; ++y)
+          for (std::size_t x = 0; x < nx; ++x)
+            rcell(plane + y * nx + x, lorenzo_predict(view, x, y, z), oi);
+        continue;
+      }
+      for (std::size_t x = 0; x < nx; ++x)
+        rcell(plane + x, lorenzo_predict(view, x, 0, z), oi);
+      std::size_t y = 1;
+      for (; y + 2 < dims.ny; y += 3) {
+        const std::size_t r0 = plane + y * nx;
+        const std::size_t r1 = r0 + nx;
+        const std::size_t r2 = r1 + nx;
+        // Each lower row's cursor starts past every code-0 cell of the
+        // rows above it: the k-th zero cell in scan order still takes
+        // outliers[k], the stagger only reorders the instruction
+        // schedule.
+        std::size_t zeros0 = 0;
+        std::size_t zeros1 = 0;
+        for (std::size_t x = 0; x < nx; ++x) zeros0 += codes[r0 + x] == 0;
+        for (std::size_t x = 0; x < nx; ++x) zeros1 += codes[r1 + x] == 0;
+        std::size_t oi0 = oi;
+        std::size_t oi1 = oi + zeros0;
+        std::size_t oi2 = oi1 + zeros1;
+        const T* rc0 = out + r0;
+        const T* ym0 = rc0 - nx;
+        const T* zm0 = rc0 - nxy;
+        const T* yzm0 = zm0 - nx;
+        const T* ym1 = rc0;
+        const T* zm1 = zm0 + nx;
+        const T* yzm1 = zm0;
+        const T* ym2 = rc0 + nx;
+        const T* zm2 = zm1 + nx;
+        const T* yzm2 = zm1;
+        double l0 = rcell(r0, lorenzo_predict(view, 0, y, z), oi0);
+        double l1 = rcell(r1, lorenzo_predict(view, 0, y + 1, z), oi1);
+        double l2 = rcell(r2, lorenzo_predict(view, 0, y + 2, z), oi2);
+        for (std::size_t x = 1; x < nx + 2 * kRowLag; ++x) {
+          if (x < nx)
+            l0 = rcell(r0 + x, lorenzo_row_predict(l0, ym0, zm0, yzm0, x),
+                       oi0);
+          if (x >= 1 + kRowLag && x < nx + kRowLag) {
+            const std::size_t xb = x - kRowLag;
+            l1 = rcell(r1 + xb, lorenzo_row_predict(l1, ym1, zm1, yzm1, xb),
+                       oi1);
+          }
+          if (x >= 1 + 2 * kRowLag) {
+            const std::size_t xc = x - 2 * kRowLag;
+            l2 = rcell(r2 + xc, lorenzo_row_predict(l2, ym2, zm2, yzm2, xc),
+                       oi2);
+          }
+        }
+        oi = oi2;
+      }
+      for (; y < dims.ny; ++y) {
+        const std::size_t row = plane + y * nx;
+        const T* rc = out + row;
+        const T* ym = rc - nx;
+        const T* zm = rc - nxy;
+        const T* yzm = zm - nx;
+        double left = rcell(row, lorenzo_predict(view, 0, y, z), oi);
+        for (std::size_t x = 1; x < nx; ++x)
+          left = rcell(row + x, lorenzo_row_predict(left, ym, zm, yzm, x), oi);
+      }
+    }
+    if (oi != n_outliers)
+      throw std::runtime_error("sz: outlier stream not fully consumed");
+    return;
+  }
+
+  const std::size_t pb = plan->pred_block;
+  for (std::size_t z = 0; z < dims.nz; ++z) {
+    const std::size_t tz = z / pb;
+    for (std::size_t y = 0; y < dims.ny; ++y) {
+      const std::size_t ty = y / pb;
+      const std::size_t row = z * nxy + y * nx;
+      const T* rc = out + row;
+      for (std::size_t tx = 0; tx < plan->tiles.nx; ++tx) {
+        const std::size_t x0 = tx * pb;
+        const std::size_t x1 = std::min(nx, x0 + pb);
+        const std::int32_t fi = plan->fit_index[plan->tiles.index(tx, ty, tz)];
+        if (fi >= 0) {
+          const Box3 box = plan->tile_box(dims, tx, ty, tz);
+          const PlaneFit& f = plan->fits[static_cast<std::size_t>(fi)];
+          const double cx =
+              (static_cast<double>(box.x1 - box.x0) - 1) / 2.0;
+          const double cy =
+              (static_cast<double>(box.y1 - box.y0) - 1) / 2.0;
+          const double cz =
+              (static_cast<double>(box.z1 - box.z0) - 1) / 2.0;
+          const double b0 = static_cast<double>(f.b0);
+          const double bx = static_cast<double>(f.bx);
+          const double byuy = static_cast<double>(f.by) *
+                              (static_cast<double>(y - box.y0) - cy);
+          const double bzuz = static_cast<double>(f.bz) *
+                              (static_cast<double>(z - box.z0) - cz);
+          for (std::size_t x = x0; x < x1; ++x) {
+            const std::uint32_t code = codes[row + x];
+            if (code == 0) {
+              take_outlier(row + x);
+            } else {
+              const double pred =
+                  ((b0 + bx * (static_cast<double>(x - box.x0) - cx)) +
+                   byuy) +
+                  bzuz;
+              out[row + x] = static_cast<T>(dequantize(code, pred, eb, radius));
+            }
+          }
+        } else if (z == 0 || y == 0) {
+          for (std::size_t x = x0; x < x1; ++x) {
+            const std::uint32_t code = codes[row + x];
+            if (code == 0) {
+              take_outlier(row + x);
+            } else {
+              const double pred = lorenzo_predict(view, x, y, z);
+              out[row + x] = static_cast<T>(dequantize(code, pred, eb, radius));
+            }
+          }
         } else {
-          const double pred = predict_cell(view, plan, dims, x, y, z);
-          out[i] = static_cast<T>(dequantize(code, pred, eb, radius));
+          const T* ym = rc - nx;
+          const T* zm = rc - nxy;
+          const T* yzm = zm - nx;
+          std::size_t x = x0;
+          if (x == 0) {
+            const std::uint32_t code = codes[row];
+            if (code == 0)
+              take_outlier(row);
+            else
+              out[row] = static_cast<T>(dequantize(
+                  code, lorenzo_predict(view, 0, y, z), eb, radius));
+            ++x;
+          }
+          if (x < x1) {
+            double left = finite_or_zero(static_cast<double>(rc[x - 1]));
+            for (; x < x1; ++x) {
+              const std::uint32_t code = codes[row + x];
+              if (code == 0) {
+                take_outlier(row + x);
+              } else {
+                const double pred = lorenzo_row_predict(left, ym, zm, yzm, x);
+                out[row + x] =
+                    static_cast<T>(dequantize(code, pred, eb, radius));
+              }
+              left = finite_or_zero(static_cast<double>(rc[x]));
+            }
+          }
         }
       }
+    }
+  }
   if (oi != n_outliers)
     throw std::runtime_error("sz: outlier stream not fully consumed");
 }
 
-/// Packs one bit per value (negative sign) into bytes.
+}  // namespace
+
+template <class T>
+ValueRange scan_range(std::span<const T> data) {
+#if TAC_SIMD_X86 && defined(__GNUC__)
+  switch (simd::active_level()) {
+    case simd::Level::kAVX2:
+      return scan_range_avx2(data.data(), data.size());
+    case simd::Level::kSSE42:
+      return scan_range_sse42(data.data(), data.size());
+    case simd::Level::kScalar:
+      break;
+  }
+#endif
+  return scan_range_scalar(data.data(), data.size());
+}
+
 template <class T>
 std::vector<std::uint8_t> pack_sign_bits(std::span<const T> data) {
   std::vector<std::uint8_t> out((data.size() + 7) / 8, 0);
-  for (std::size_t i = 0; i < data.size(); ++i)
-    if (std::signbit(static_cast<double>(data[i])))
-      out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+#if TAC_SIMD_X86 && defined(__GNUC__)
+  switch (simd::active_level()) {
+    case simd::Level::kAVX2:
+      pack_sign_avx2(data.data(), data.size(), out.data());
+      return out;
+    case simd::Level::kSSE42:
+      pack_sign_sse42(data.data(), data.size(), out.data());
+      return out;
+    case simd::Level::kScalar:
+      break;
+  }
+#endif
+  pack_sign_tail(data.data(), std::size_t{0}, data.size(), out.data());
   return out;
 }
-
-}  // namespace
 
 template <class T>
 std::vector<std::uint8_t> compress(std::span<const T> data, Dims3 dims,
@@ -271,7 +837,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims3 dims,
     return w.take();
   }
 
-  const Range range = scan_range(data);
+  const ValueRange range = scan_range(data);
   const double span_val =
       std::isfinite(range.hi - range.lo) && range.hi > range.lo
           ? range.hi - range.lo
@@ -305,9 +871,14 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims3 dims,
   w.put<std::uint8_t>(static_cast<std::uint8_t>(StreamKind::kGeneral));
 
   const bool hybrid = cfg.predictor == Predictor::kHybrid;
-  std::vector<std::uint32_t> codes(data.size());
-  std::vector<T> recon(data.size());
-  std::vector<std::vector<T>> outliers_per_block(nblocks);
+
+  // All per-call scratch comes from the thread's bump arena: in the level
+  // pipeline this function runs thousands of times per container, and the
+  // steady-state path performs no heap allocation at all.
+  ArenaScope scratch;
+  const auto codes = scratch.alloc<std::uint32_t>(data.size());
+  const auto recon = scratch.alloc<T>(data.size());
+  const auto offsets = scratch.alloc<std::size_t>(nblocks + 1);
   std::vector<TilePlan> plans(hybrid ? nblocks : 0);
   parallel_for(
       0, nblocks,
@@ -317,20 +888,37 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims3 dims,
           plans[b] = plan_tiles(data.data() + b * vol, dims, cfg.pred_block);
           plan = &plans[b];
         }
-        quantize_block(data.data() + b * vol, dims, abs_eb, cfg.quant_radius,
-                       codes.data() + b * vol, recon.data() + b * vol,
-                       outliers_per_block[b], plan);
+        offsets[b + 1] =
+            quantize_block(data.data() + b * vol, dims, abs_eb,
+                           cfg.quant_radius, codes.data() + b * vol,
+                           recon.data() + b * vol, plan);
       },
       /*grain=*/1);
 
-  std::vector<T> outliers;
-  ByteWriter counts_w;
-  for (const auto& ob : outliers_per_block) {
-    counts_w.put_varint(ob.size());
-    outliers.insert(outliers.end(), ob.begin(), ob.end());
-  }
+  offsets[0] = 0;
+  for (std::size_t b = 0; b < nblocks; ++b) offsets[b + 1] += offsets[b];
 
-  const auto huff = lossless::huffman_compress(codes);
+  // Second pass: outlier cells are exactly the codes[i] == 0 cells, and
+  // their exact values are the original data — gather them in scan order
+  // (the same order the old per-block vectors accumulated them in).
+  const auto outliers = scratch.alloc<T>(offsets[nblocks]);
+  parallel_for(
+      0, nblocks,
+      [&](std::size_t b) {
+        std::size_t k = offsets[b];
+        const std::uint32_t* bc = codes.data() + b * vol;
+        const T* bd = data.data() + b * vol;
+        for (std::size_t i = 0; i < vol; ++i)
+          if (bc[i] == 0) outliers[k++] = bd[i];
+      },
+      /*grain=*/1);
+
+  ByteWriter counts_w;
+  for (std::size_t b = 0; b < nblocks; ++b)
+    counts_w.put_varint(offsets[b + 1] - offsets[b]);
+
+  const auto huff = lossless::huffman_compress(
+      std::span<const std::uint32_t>(codes.data(), codes.size()));
   const auto huff_packed = lossless::compress(huff);
   w.put_blob(huff_packed);
 
@@ -445,18 +1033,22 @@ std::vector<T> decompress(std::span<const std::uint8_t> bytes) {
   if (codes.size() != total)
     throw std::runtime_error("sz::decompress: code count mismatch");
 
+  ArenaScope scratch;
   const auto outliers_packed = r.get_blob();
   const auto outlier_bytes = lossless::decompress(outliers_packed);
   if (outlier_bytes.size() % sizeof(T) != 0)
     throw std::runtime_error("sz::decompress: outlier byte count");
-  std::vector<T> outliers(outlier_bytes.size() / sizeof(T));
-  std::memcpy(outliers.data(), outlier_bytes.data(), outlier_bytes.size());
+  const auto outliers = scratch.alloc<T>(outlier_bytes.size() / sizeof(T));
+  if (!outlier_bytes.empty())
+    std::memcpy(outliers.data(), outlier_bytes.data(), outlier_bytes.size());
 
   const auto counts_blob = r.get_blob();
   ByteReader counts_r(counts_blob);
-  std::vector<std::size_t> offsets(h.info.nblocks + 1, 0);
+  const auto offsets = scratch.alloc<std::size_t>(h.info.nblocks + 1);
+  offsets[0] = 0;
   for (std::size_t b = 0; b < h.info.nblocks; ++b)
-    offsets[b + 1] = offsets[b] + static_cast<std::size_t>(counts_r.get_varint());
+    offsets[b + 1] =
+        offsets[b] + static_cast<std::size_t>(counts_r.get_varint());
   if (offsets.back() != outliers.size())
     throw std::runtime_error("sz::decompress: outlier count mismatch");
 
@@ -534,6 +1126,12 @@ SzStreamInfo peek(std::span<const std::uint8_t> bytes) {
   return h.info;
 }
 
+template ValueRange scan_range<float>(std::span<const float>);
+template ValueRange scan_range<double>(std::span<const double>);
+template std::vector<std::uint8_t> pack_sign_bits<float>(
+    std::span<const float>);
+template std::vector<std::uint8_t> pack_sign_bits<double>(
+    std::span<const double>);
 template std::vector<std::uint8_t> compress<float>(std::span<const float>,
                                                    Dims3, const SzConfig&,
                                                    std::size_t);

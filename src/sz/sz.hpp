@@ -52,6 +52,25 @@ template <class T>
 /// Reads the stream header without decompressing the payload.
 [[nodiscard]] SzStreamInfo peek(std::span<const std::uint8_t> bytes);
 
+/// Result of one pass over the data: finite value range plus whether every
+/// element is bit-identical to the first (constant-stream detection).
+struct ValueRange {
+  double lo = 0;  ///< +inf when no finite values were seen
+  double hi = 0;  ///< -inf when no finite values were seen
+  bool all_identical = true;
+};
+
+/// Range scan over `data` (SIMD-dispatched; see common/simd.hpp). The
+/// scalar and vector paths return bit-identical results.
+template <class T>
+[[nodiscard]] ValueRange scan_range(std::span<const T> data);
+
+/// Packs one bit per value (the IEEE sign bit, LSB-first within each
+/// byte). SIMD-dispatched; used by the point-wise-relative path.
+template <class T>
+[[nodiscard]] std::vector<std::uint8_t> pack_sign_bits(
+    std::span<const T> data);
+
 }  // namespace tac::sz
 
 #endif  // TAC_SZ_SZ_HPP

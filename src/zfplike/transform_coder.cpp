@@ -268,7 +268,8 @@ std::vector<double> decompress(std::span<const std::uint8_t> bytes) {
   if (outlier_raw.size() % sizeof(double) != 0)
     throw std::runtime_error("transform coder: outlier payload");
   std::vector<double> outliers(outlier_raw.size() / sizeof(double));
-  std::memcpy(outliers.data(), outlier_raw.data(), outlier_raw.size());
+  if (!outlier_raw.empty())
+    std::memcpy(outliers.data(), outlier_raw.data(), outlier_raw.size());
   const auto meta_raw = lossless::decompress(r.get_blob());
   ByteReader meta(meta_raw);
 

@@ -214,7 +214,8 @@ TEST(GatherScatter, RoundTripsLevelData) {
   const BlockGrid grid(lv.dims(), 4);
   const auto occ = block_occupancy(lv, grid);
   const auto subs = opst_extract(occ);
-  const auto groups = gather_groups(lv, grid, subs);
+  tac::ArenaScope scratch;
+  const auto groups = gather_groups(lv, grid, subs, scratch);
 
   amr::AmrLevel out({16, 16, 16});
   out.mask = lv.mask;
@@ -239,7 +240,8 @@ TEST(GatherScatter, ClippedEdgeBlocksRoundTrip) {
         Extractor{&akdtree_extract}}) {
     const auto subs = (*extract)(occ);
     ASSERT_TRUE(covers_exactly(occ, subs));
-    const auto groups = gather_groups(lv, grid, subs);
+    tac::ArenaScope scratch;
+  const auto groups = gather_groups(lv, grid, subs, scratch);
     amr::AmrLevel out({10, 10, 10});
     out.mask = lv.mask;
     scatter_groups(out, grid, groups);
@@ -253,7 +255,8 @@ TEST(GatherScatter, GroupsMergeEqualExtents) {
   for (std::size_t i = 0; i < lv.mask.size(); ++i) lv.mask[i] = 1;
   const auto subs = nast_extract(occ);
   const BlockGrid grid(lv.dims(), 4);
-  const auto groups = gather_groups(lv, grid, subs);
+  tac::ArenaScope scratch;
+  const auto groups = gather_groups(lv, grid, subs, scratch);
   // NaST blocks are all 1x1x1 -> exactly one group holding all members.
   ASSERT_EQ(groups.size(), 1u);
   EXPECT_EQ(groups[0].members.size(), subs.size());
