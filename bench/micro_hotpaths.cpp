@@ -11,6 +11,8 @@
 ///
 /// Scoreboard expectations wired into CI:
 ///   - huffman_decode must beat the bit-at-a-time reference by >= 4x,
+///   - the fast-profile LZSS encoder (lzss2) must beat the legacy
+///     bit-stream encoder by >= 1.2x on the mixed corpus,
 ///   - every vectorized kernel must be no slower than its scalar fallback.
 
 #include <cstdio>
@@ -25,6 +27,7 @@
 #include "common/timer.hpp"
 #include "amr/amr_io.hpp"
 #include "lossless/huffman.hpp"
+#include "lossless/lzss.hpp"
 #include "sz/sz.hpp"
 
 namespace {
@@ -190,6 +193,63 @@ KernelResult bench_mask_roundtrip() {
   return r;
 }
 
+/// The byte mix the lossless stage actually sees: a Huffman-coded payload
+/// (mid entropy — exercises the incompressible-skip heuristic), packed
+/// sign/mode bits (long constant runs — exercises match emission), and a
+/// stride-repetitive block index stream (medium-distance matches).
+std::vector<std::uint8_t> lzss_corpus() {
+  std::vector<std::uint8_t> corpus;
+  std::mt19937 rng(41);
+  std::vector<double> weights(256);
+  double w = 1.0;
+  for (auto& x : weights) {
+    x = w;
+    w *= 0.97;
+  }
+  std::discrete_distribution<int> skew(weights.begin(), weights.end());
+  std::vector<std::uint32_t> syms(kElems / 4);
+  for (auto& v : syms) v = 32700 + static_cast<std::uint32_t>(skew(rng));
+  const auto table = lossless::huffman_build(syms);
+  const auto huff = lossless::huffman_encode(table, syms);
+  corpus.insert(corpus.end(), huff.begin(), huff.end());
+  // Run-heavy segment: long same-byte stretches with occasional flips.
+  for (std::size_t i = 0; i < kElems / 4;) {
+    const std::size_t run = 16 + rng() % 512;
+    const std::uint8_t b = static_cast<std::uint8_t>(rng() & 3);
+    for (std::size_t j = 0; j < run && i < kElems / 4; ++j, ++i)
+      corpus.push_back(b);
+  }
+  // Stride-repetitive segment: a 67-byte pattern with sparse noise.
+  std::vector<std::uint8_t> pattern(67);
+  for (auto& b : pattern) b = static_cast<std::uint8_t>(rng());
+  for (std::size_t i = 0; i < kElems / 4; ++i)
+    corpus.push_back(rng() % 97 == 0 ? static_cast<std::uint8_t>(rng())
+                                     : pattern[i % pattern.size()]);
+  return corpus;
+}
+
+KernelResult bench_lzss_compress() {
+  const auto corpus = lzss_corpus();
+  auto r = ab(
+      "lzss_compress", corpus.size(),
+      [&] { (void)lossless::lzss2_compress(corpus); },
+      [&] { (void)lossless::lzss_compress(corpus); });
+  r.baseline = "legacy bit-stream";
+  return r;
+}
+
+KernelResult bench_lzss_decompress() {
+  const auto corpus = lzss_corpus();
+  const auto fast = lossless::lzss2_compress(corpus);
+  const auto legacy = lossless::lzss_compress(corpus);
+  auto r = ab(
+      "lzss_decompress", corpus.size(),
+      [&] { (void)lossless::lzss2_decompress(fast); },
+      [&] { (void)lossless::lzss_decompress(legacy); });
+  r.baseline = "legacy bit-stream";
+  return r;
+}
+
 KernelResult bench_arena_vs_heap() {
   constexpr std::size_t kChunk = 1u << 16;  // 64K doubles per scratch buffer
   constexpr int kIters = 2048;
@@ -249,6 +309,8 @@ int main() {
   results.push_back(bench_pack_sign_bits());
   results.push_back(bench_huffman_decode());
   results.push_back(bench_crc32());
+  results.push_back(bench_lzss_compress());
+  results.push_back(bench_lzss_decompress());
   results.push_back(bench_mask_roundtrip());
   results.push_back(bench_arena_vs_heap());
 
@@ -258,6 +320,11 @@ int main() {
                 r.a_seconds, r.b_seconds, r.speedup(), r.mb_per_s, r.baseline);
     if (r.name == "huffman_decode" && r.speedup() < 4.0) {
       std::printf("FAIL: huffman_decode speedup %.2fx < 4x target\n",
+                  r.speedup());
+      ok = false;
+    }
+    if (r.name == "lzss_compress" && r.speedup() < 1.2) {
+      std::printf("FAIL: lzss_compress speedup %.2fx < 1.2x target\n",
                   r.speedup());
       ok = false;
     }

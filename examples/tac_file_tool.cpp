@@ -300,9 +300,14 @@ int print_container_info(const std::string& path,
       status = "FAIL";
       all_ok = false;
     }
-    std::printf("  payload %zu: offset %llu, length %llu, crc32 %08x  %s\n",
+    // Pre-v3 containers carry no per-payload profile byte; show "-" so
+    // the column stays aligned across format versions.
+    const auto profile = core::payload_profile(h, i);
+    std::printf("  payload %zu: offset %llu, length %llu, crc32 %08x, "
+                "profile %s  %s\n",
                 i, static_cast<unsigned long long>(e.offset),
-                static_cast<unsigned long long>(e.length), e.crc32, status);
+                static_cast<unsigned long long>(e.length), e.crc32,
+                profile ? lossless::to_string(*profile) : "-", status);
   }
   const std::size_t index_bytes = h.payload_offset - h.index_offset;
   std::printf("  index: %zu bytes (%.3f%% of container), checksums %s\n",

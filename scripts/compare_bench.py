@@ -6,12 +6,28 @@ Usage: compare_bench.py <baseline.json> <current.json> [tolerance]
 Fails (exit 1) if the current aggregate_measure_seconds is more than
 `tolerance` (default 10%) above the baseline. Timed sections exclude
 data generation, so the aggregate tracks compressor work only. A faster
-run never fails; print the ratio either way so the CI log shows the
-trajectory.
+run never fails; the ratio is printed either way so the CI log shows
+the trajectory.
+
+Rows are matched by their (dataset, abs_eb, method) key, so the two
+files may disagree on row count or carry extra JSON keys (new presets,
+new per-row fields) without breaking the comparison. Rows present on
+only one side are listed but never gate. Matched rows are printed
+worst-regression-first with their time delta; only the aggregate gates.
 """
 
 import json
 import sys
+
+
+def row_key(row):
+    return (row.get("dataset", "?"), row.get("abs_eb", 0.0),
+            row.get("method", "?"))
+
+
+def fmt_key(key):
+    dataset, eb, method = key
+    return f"({dataset}, eb={eb:g}, {method})"
 
 
 def main() -> int:
@@ -24,6 +40,31 @@ def main() -> int:
     with open(sys.argv[2]) as f:
         cur = json.load(f)
 
+    base_rows = {row_key(r): r for r in base.get("rows", [])}
+    cur_rows = {row_key(r): r for r in cur.get("rows", [])}
+
+    added = sorted(set(cur_rows) - set(base_rows))
+    removed = sorted(set(base_rows) - set(cur_rows))
+    for k in added:
+        print(f"  new row (not compared): {fmt_key(k)} "
+              f"{cur_rows[k].get('seconds', 0.0):.4f}s")
+    for k in removed:
+        print(f"  dropped row (not compared): {fmt_key(k)}")
+
+    # Worst regression first so the offending cell tops the CI log.
+    matched = []
+    for k in sorted(set(base_rows) & set(cur_rows)):
+        bs = base_rows[k].get("seconds")
+        cs = cur_rows[k].get("seconds")
+        if not bs or cs is None:
+            continue
+        matched.append((cs / bs, bs, cs, k))
+    matched.sort(reverse=True)
+    for ratio, bs, cs, k in matched:
+        tag = "slower" if ratio > 1.0 else "faster"
+        print(f"  {fmt_key(k)}: {bs:.4f}s -> {cs:.4f}s "
+              f"({ratio:.3f}x, {abs(cs - bs) * 1e3:.1f}ms {tag})")
+
     base_s = base["aggregate_measure_seconds"]
     cur_s = cur["aggregate_measure_seconds"]
     ratio = cur_s / base_s
@@ -32,6 +73,9 @@ def main() -> int:
 
     if ratio > 1.0 + tolerance:
         print("FAIL: aggregate regressed beyond tolerance")
+        if matched and matched[0][0] > 1.0:
+            print(f"worst cell: {fmt_key(matched[0][3])} "
+                  f"at {matched[0][0]:.3f}x")
         return 1
     print("OK")
     return 0

@@ -19,7 +19,7 @@ amr::AmrLevel CompressorBackend::decompress_level(
   verify_payloads(container, header.index);
   ByteReader r(container);
   r.seek(header.payload_offset);
-  amr::AmrDataset full = decompress(r, header.skeleton);
+  amr::AmrDataset full = decompress(r, header.skeleton, header);
   return std::move(full.level(level));
 }
 

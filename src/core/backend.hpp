@@ -46,9 +46,14 @@ class CompressorBackend {
   /// Decodes this backend's payload into the skeleton (structure decoded
   /// from the common header, data arrays zeroed) and returns the filled
   /// dataset. `r` is positioned immediately after the common header (and,
-  /// for v2 containers, after the payload index).
+  /// for v2+ containers, after the payload index). `header` supplies the
+  /// payload index — in particular `payload_profile(header, i)`, the codec
+  /// profile each payload's lossless streams must decode under. Callers
+  /// may have moved the skeleton out of `header`, so backends must not
+  /// touch `header.skeleton` — use the `skeleton` parameter.
   [[nodiscard]] virtual amr::AmrDataset decompress(
-      ByteReader& r, amr::AmrDataset skeleton) const = 0;
+      ByteReader& r, amr::AmrDataset skeleton,
+      const CommonHeader& header) const = 0;
 
   /// Decodes only `level` of the container into a standalone AmrLevel.
   /// `header` must be the result of read_common_header over `container`.

@@ -1,5 +1,6 @@
 #include "core/baselines.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "amr/uniform.hpp"
@@ -104,8 +105,8 @@ class OneDBackend final : public CompressorBackend {
         /*grain=*/1);
 
     ByteWriter w;
-    PayloadIndexBuilder index =
-        write_common_header(w, Method::kOneD, ds, ds.num_levels());
+    PayloadIndexBuilder index = write_common_header(
+        w, Method::kOneD, ds, ds.num_levels(), cfg.sz.profile);
     for (auto& lvl : levels) {
       const std::size_t before = w.size();
       index.begin_payload();
@@ -125,9 +126,10 @@ class OneDBackend final : public CompressorBackend {
   }
 
   [[nodiscard]] amr::AmrDataset decompress(
-      ByteReader& r, amr::AmrDataset skeleton) const override {
+      ByteReader& r, amr::AmrDataset skeleton,
+      const CommonHeader& header) const override {
     for (std::size_t l = 0; l < skeleton.num_levels(); ++l)
-      decode_level(r, skeleton.level(l));
+      decode_level(r, skeleton.level(l), payload_profile(header, l));
     return skeleton;
   }
 
@@ -140,17 +142,18 @@ class OneDBackend final : public CompressorBackend {
     if (!r)  // v1 container (no index): fall back to the full decode.
       return CompressorBackend::decompress_level(container, header, level);
     amr::AmrLevel lv = header.skeleton.level(level);
-    decode_level(*r, lv);
+    decode_level(*r, lv, payload_profile(header, level));
     return lv;
   }
 
  private:
-  static void decode_level(ByteReader& r, amr::AmrLevel& lv) {
+  static void decode_level(ByteReader& r, amr::AmrLevel& lv,
+                           std::optional<lossless::CodecProfile> expected) {
     const auto stream = r.get_blob();
     if (stream.empty()) {
       lv.scatter_valid({});
     } else {
-      const auto values = sz::decompress<double>(stream);
+      const auto values = sz::decompress<double>(stream, expected);
       lv.scatter_valid(values);
     }
   }
@@ -168,8 +171,8 @@ class ZMeshBackend final : public CompressorBackend {
     // One interleaved stream spanning every level: a single payload (and
     // a single index entry) — partial decompression uses the full-decode
     // fallback for this backend.
-    PayloadIndexBuilder index =
-        write_common_header(w, Method::kZMesh, ds, /*n_payloads=*/1);
+    PayloadIndexBuilder index = write_common_header(
+        w, Method::kZMesh, ds, /*n_payloads=*/1, cfg.sz.profile);
 
     CompressReport report;
     report.method = Method::kZMesh;
@@ -210,10 +213,12 @@ class ZMeshBackend final : public CompressorBackend {
   }
 
   [[nodiscard]] amr::AmrDataset decompress(
-      ByteReader& r, amr::AmrDataset skeleton) const override {
+      ByteReader& r, amr::AmrDataset skeleton,
+      const CommonHeader& header) const override {
     const auto stream = r.get_blob();
     if (stream.empty()) return skeleton;
-    const auto values = sz::decompress<double>(stream);
+    const auto values =
+        sz::decompress<double>(stream, payload_profile(header, 0));
     zmesh_scatter(skeleton, values);
     return skeleton;
   }
@@ -230,8 +235,8 @@ class Upsample3DBackend final : public CompressorBackend {
     ByteWriter w;
     // Levels merge into one up-sampled uniform grid: a single payload —
     // partial decompression uses the full-decode fallback here too.
-    PayloadIndexBuilder index =
-        write_common_header(w, Method::kUpsample3D, ds, /*n_payloads=*/1);
+    PayloadIndexBuilder index = write_common_header(
+        w, Method::kUpsample3D, ds, /*n_payloads=*/1, cfg.sz.profile);
 
     CompressReport report;
     report.method = Method::kUpsample3D;
@@ -267,9 +272,11 @@ class Upsample3DBackend final : public CompressorBackend {
   }
 
   [[nodiscard]] amr::AmrDataset decompress(
-      ByteReader& r, amr::AmrDataset skeleton) const override {
+      ByteReader& r, amr::AmrDataset skeleton,
+      const CommonHeader& header) const override {
     const auto stream = r.get_blob();
-    const auto flat = sz::decompress<double>(stream);
+    const auto flat =
+        sz::decompress<double>(stream, payload_profile(header, 0));
     const Dims3 fd = skeleton.finest_dims();
     if (flat.size() != fd.volume())
       throw std::runtime_error("3D baseline: payload size mismatch");

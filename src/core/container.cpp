@@ -100,7 +100,9 @@ void PayloadIndexBuilder::end_payload() {
   e.offset = open_begin_;
   e.length = end - open_begin_;
   e.crc32 = crc32(written.subspan(open_begin_, end - open_begin_));
-  patch_payload_entry(*w_, entries_pos_ + sealed_ * kPayloadEntryBytes, e);
+  e.profile = static_cast<std::uint8_t>(profile_);
+  patch_payload_entry_v3(*w_, entries_pos_ + sealed_ * kPayloadEntryV3Bytes,
+                         e);
   ++sealed_;
   open_begin_ = kNone;
 }
@@ -116,7 +118,8 @@ void PayloadIndexBuilder::finish() const {
 
 PayloadIndexBuilder write_common_header(ByteWriter& w, Method method,
                                         const amr::AmrDataset& ds,
-                                        std::size_t n_payloads) {
+                                        std::size_t n_payloads,
+                                        lossless::CodecProfile profile) {
   w.put<std::uint32_t>(kMagic);
   w.put<std::uint8_t>(kFormatVersion);
   w.put<std::uint8_t>(static_cast<std::uint8_t>(method));
@@ -129,11 +132,12 @@ PayloadIndexBuilder write_common_header(ByteWriter& w, Method method,
     w.put_varint(lv.dims().ny);
     w.put_varint(lv.dims().nz);
     const auto packed = amr::pack_mask(lv.mask.span());
-    w.put_blob(lossless::compress(packed));
+    w.put_blob(lossless::compress(packed, profile));
   }
   w.put_varint(n_payloads);
-  const std::size_t entries_pos = w.reserve(n_payloads * kPayloadEntryBytes);
-  return PayloadIndexBuilder(w, entries_pos, n_payloads);
+  const std::size_t entries_pos =
+      w.reserve(n_payloads * kPayloadEntryV3Bytes);
+  return PayloadIndexBuilder(w, entries_pos, n_payloads, profile);
 }
 
 CommonHeader read_common_header(ByteReader& r) {
@@ -160,18 +164,36 @@ CommonHeader read_common_header(ByteReader& r) {
   h.skeleton = amr::AmrDataset(field, std::move(levels), ratio);
   h.index_offset = r.position();
   if (h.version >= 2) {
+    const std::size_t entry_bytes =
+        h.version >= 3 ? kPayloadEntryV3Bytes : kPayloadEntryBytes;
     const std::size_t n = static_cast<std::size_t>(r.get_varint());
-    if (n > r.remaining() / kPayloadEntryBytes)
+    if (n > r.remaining() / entry_bytes)
       throw std::runtime_error(
           "container: payload index claims " + std::to_string(n) +
           " entries but only " + std::to_string(r.remaining()) +
           " bytes remain");
     h.index.entries.reserve(n);
-    for (std::size_t i = 0; i < n; ++i)
-      h.index.entries.push_back(read_payload_entry(r));
+    for (std::size_t i = 0; i < n; ++i) {
+      const PayloadEntry e = h.version >= 3 ? read_payload_entry_v3(r)
+                                            : read_payload_entry(r);
+      if (h.version >= 3 &&
+          e.profile > static_cast<std::uint8_t>(lossless::CodecProfile::kFast))
+        throw lossless::ProfileError(
+            "container: payload " + std::to_string(i) +
+            " declares unknown codec profile byte " +
+            std::to_string(e.profile));
+      h.index.entries.push_back(e);
+    }
   }
   h.payload_offset = r.position();
   return h;
+}
+
+std::optional<lossless::CodecProfile> payload_profile(
+    const CommonHeader& header, std::size_t i) {
+  if (header.version < 3 || i >= header.index.entries.size())
+    return std::nullopt;
+  return static_cast<lossless::CodecProfile>(header.index.entries[i].profile);
 }
 
 Method peek_method(std::span<const std::uint8_t> bytes) {

@@ -20,6 +20,13 @@
 /// reads one level in O(that level's payload) instead of O(dataset) — and
 /// turns any single-byte payload corruption into a ChecksumError instead
 /// of a misparse. v1 containers (no index) are still decoded.
+///
+/// Format v3 widens each index entry by a codec-profile byte
+/// (lossless::CodecProfile): the lossless encoder family that produced
+/// that payload's byte streams. Readers dispatch the legacy vs fast
+/// decode paths on it and reject streams whose method bytes contradict
+/// the declared profile. v1/v2 containers carry no profile and decode
+/// leniently.
 
 #include <cstdint>
 #include <optional>
@@ -30,6 +37,7 @@
 
 #include "amr/dataset.hpp"
 #include "common/bytes.hpp"
+#include "lossless/codec.hpp"
 
 namespace tac::core {
 
@@ -54,7 +62,7 @@ enum class Strategy : std::uint8_t {
 /// On-disk container format version. Bumped whenever the serialized layout
 /// changes; readers accept [kMinFormatVersion, kFormatVersion] and reject
 /// anything newer with a descriptive error instead of misparsing it.
-inline constexpr std::uint8_t kFormatVersion = 2;
+inline constexpr std::uint8_t kFormatVersion = 3;
 inline constexpr std::uint8_t kMinFormatVersion = 1;
 
 /// A stored payload checksum failed — the container bytes were damaged
@@ -71,14 +79,20 @@ struct PayloadEntry {
   std::uint64_t offset = 0;
   std::uint64_t length = 0;
   std::uint32_t crc32 = 0;
+  std::uint8_t profile = 0;  ///< lossless::CodecProfile value; only
+                             ///< meaningful for v3+ container entries
 };
 
-/// Serialized size of one index entry (offset u64 + length u64 + crc u32,
-/// little-endian, fixed width so entries can be back-patched in place).
+/// Serialized size of one v2 index entry (offset u64 + length u64 + crc
+/// u32, little-endian, fixed width so entries can be back-patched in
+/// place). Still written by the snapshot codec's field index.
 inline constexpr std::size_t kPayloadEntryBytes = 20;
 
-/// The single source of truth for the on-disk entry triplet — every
-/// writer back-patches and every reader parses through these two.
+/// v3 container entries append the codec-profile byte.
+inline constexpr std::size_t kPayloadEntryV3Bytes = kPayloadEntryBytes + 1;
+
+/// The single source of truth for the on-disk entry layout — every
+/// writer back-patches and every reader parses through these helpers.
 inline void patch_payload_entry(ByteWriter& w, std::size_t pos,
                                 const PayloadEntry& e) {
   w.patch<std::uint64_t>(pos, e.offset);
@@ -86,11 +100,23 @@ inline void patch_payload_entry(ByteWriter& w, std::size_t pos,
   w.patch<std::uint32_t>(pos + 16, e.crc32);
 }
 
+inline void patch_payload_entry_v3(ByteWriter& w, std::size_t pos,
+                                   const PayloadEntry& e) {
+  patch_payload_entry(w, pos, e);
+  w.patch<std::uint8_t>(pos + kPayloadEntryBytes, e.profile);
+}
+
 [[nodiscard]] inline PayloadEntry read_payload_entry(ByteReader& r) {
   PayloadEntry e;
   e.offset = r.get<std::uint64_t>();
   e.length = r.get<std::uint64_t>();
   e.crc32 = r.get<std::uint32_t>();
+  return e;
+}
+
+[[nodiscard]] inline PayloadEntry read_payload_entry_v3(ByteReader& r) {
+  PayloadEntry e = read_payload_entry(r);
+  e.profile = r.get<std::uint8_t>();
   return e;
 }
 
@@ -127,10 +153,15 @@ class PayloadIndexBuilder {
  private:
   friend PayloadIndexBuilder write_common_header(ByteWriter& w, Method method,
                                                  const amr::AmrDataset& ds,
-                                                 std::size_t n_payloads);
+                                                 std::size_t n_payloads,
+                                                 lossless::CodecProfile
+                                                     profile);
   PayloadIndexBuilder(ByteWriter& w, std::size_t entries_pos,
-                      std::size_t count)
-      : w_(&w), entries_pos_(entries_pos), count_(count) {}
+                      std::size_t count, lossless::CodecProfile profile)
+      : w_(&w),
+        entries_pos_(entries_pos),
+        count_(count),
+        profile_(profile) {}
 
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
@@ -139,15 +170,19 @@ class PayloadIndexBuilder {
   std::size_t count_ = 0;
   std::size_t sealed_ = 0;
   std::size_t open_begin_ = kNone;
+  lossless::CodecProfile profile_ = lossless::CodecProfile::kLegacy;
 };
 
-/// Writes the v2 outer header — method, field, ratio, level masks — and
-/// reserves a payload index with `n_payloads` entries. The returned
-/// builder must seal exactly `n_payloads` payloads appended directly after
-/// the header.
+/// Writes the v3 outer header — method, field, ratio, level masks — and
+/// reserves a payload index with `n_payloads` entries, each stamped with
+/// `profile` (the lossless encoder family the backend will use for this
+/// container's streams, including the mask blobs written here). The
+/// returned builder must seal exactly `n_payloads` payloads appended
+/// directly after the header.
 [[nodiscard]] PayloadIndexBuilder write_common_header(
     ByteWriter& w, Method method, const amr::AmrDataset& ds,
-    std::size_t n_payloads);
+    std::size_t n_payloads,
+    lossless::CodecProfile profile = lossless::default_profile());
 
 /// The decoded outer header: a structurally complete dataset whose level
 /// data arrays are zero, ready for a method-specific payload to fill.
@@ -162,6 +197,12 @@ struct CommonHeader {
 };
 
 [[nodiscard]] CommonHeader read_common_header(ByteReader& r);
+
+/// The codec profile declared for payload `i`, or nullopt when the
+/// container predates per-payload profiles (v1/v2) — callers then decode
+/// leniently via the method byte of each stream.
+[[nodiscard]] std::optional<lossless::CodecProfile> payload_profile(
+    const CommonHeader& header, std::size_t i);
 
 /// Reads only the method tag (cheap sniffing). Throws on bad magic, but
 /// also on an unsupported version or unregistered tag — use is_container

@@ -24,6 +24,13 @@ constexpr std::uint8_t kMinVersion = 1;
 /// The index makes one field addressable without touching the others:
 /// `decompress_field` seeks straight to its slice and checksums only it.
 /// v1 snapshots (length-prefixed blobs, no index) are still decoded.
+///
+/// Codec profiles are per-field, not per-snapshot: each field blob is a
+/// complete container whose own (v3) payload index records the profile
+/// its streams were encoded under, so `compress_snapshot` threads
+/// `cfg.sz.profile` through adaptive_compress and `decompress_snapshot`
+/// dispatches via decompress_any — the snapshot index itself stays on
+/// the 20-byte v2 entry layout.
 struct ParsedSnapshot {
   std::uint8_t version = kVersion;
   std::vector<std::string> names;                       ///< v2 only

@@ -1,5 +1,6 @@
 #include "core/tac.hpp"
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -54,7 +55,9 @@ struct DecodedGroups {
   std::vector<BlockGroup> groups;  ///< buffers filled from the streams
 };
 
-DecodedGroups deserialize_groups(ByteReader& r, std::size_t block_size) {
+DecodedGroups deserialize_groups(
+    ByteReader& r, std::size_t block_size,
+    std::optional<lossless::CodecProfile> expected) {
   DecodedGroups out;
   const std::size_t ngroups = static_cast<std::size_t>(r.get_varint());
   out.groups.reserve(ngroups);
@@ -78,7 +81,7 @@ DecodedGroups deserialize_groups(ByteReader& r, std::size_t block_size) {
       grp.members.push_back(sb);
     }
     const auto stream = r.get_blob();
-    grp.owned = sz::decompress<double>(stream);
+    grp.owned = sz::decompress<double>(stream, expected);
     grp.buffer = grp.owned;
     const std::size_t expect = grp.block_cell_dims.volume() * nmembers;
     if (grp.buffer.size() != expect)
@@ -97,8 +100,11 @@ void apply_mask(amr::AmrLevel& lv) {
 
 /// Decodes one level's payload (strategy tag, block size, streams) into
 /// `lv`, whose mask is already filled from the header. Shared by the full
-/// decode and the indexed single-level path.
-void decode_tac_level(ByteReader& r, amr::AmrLevel& lv) {
+/// decode and the indexed single-level path. `expected` is the codec
+/// profile the container's index declares for this payload (nullopt for
+/// pre-v3 containers → lenient decode).
+void decode_tac_level(ByteReader& r, amr::AmrLevel& lv,
+                      std::optional<lossless::CodecProfile> expected) {
   const auto strategy = static_cast<Strategy>(r.get<std::uint8_t>());
   const std::size_t block_size = static_cast<std::size_t>(r.get_varint());
   if (block_size == 0)
@@ -108,14 +114,14 @@ void decode_tac_level(ByteReader& r, amr::AmrLevel& lv) {
     case Strategy::kNaST:
     case Strategy::kOpST:
     case Strategy::kAKDTree: {
-      const DecodedGroups dg = deserialize_groups(r, block_size);
+      const DecodedGroups dg = deserialize_groups(r, block_size, expected);
       scatter_groups(lv, grid, dg.groups);
       break;
     }
     case Strategy::kGSP:
     case Strategy::kZF: {
       const auto stream = r.get_blob();
-      auto grid_data = sz::decompress<double>(stream);
+      auto grid_data = sz::decompress<double>(stream, expected);
       if (grid_data.size() != lv.dims().volume())
         throw std::runtime_error("tac: level payload size mismatch");
       lv.data = Array3D<double>(lv.dims(), std::move(grid_data));
@@ -253,8 +259,8 @@ class TacBackend final : public CompressorBackend {
         /*grain=*/1);
 
     ByteWriter w;
-    PayloadIndexBuilder index =
-        write_common_header(w, Method::kTac, ds, ds.num_levels());
+    PayloadIndexBuilder index = write_common_header(
+        w, Method::kTac, ds, ds.num_levels(), cfg.sz.profile);
     for (auto& lvl : levels) {
       index.begin_payload();
       w.put_bytes(lvl.bytes);
@@ -272,9 +278,10 @@ class TacBackend final : public CompressorBackend {
   }
 
   [[nodiscard]] amr::AmrDataset decompress(
-      ByteReader& r, amr::AmrDataset skeleton) const override {
+      ByteReader& r, amr::AmrDataset skeleton,
+      const CommonHeader& header) const override {
     for (std::size_t l = 0; l < skeleton.num_levels(); ++l)
-      decode_tac_level(r, skeleton.level(l));
+      decode_tac_level(r, skeleton.level(l), payload_profile(header, l));
     return skeleton;
   }
 
@@ -287,7 +294,7 @@ class TacBackend final : public CompressorBackend {
     if (!r)  // v1 container (no index): fall back to the full decode.
       return CompressorBackend::decompress_level(container, header, level);
     amr::AmrLevel lv = header.skeleton.level(level);
-    decode_tac_level(*r, lv);
+    decode_tac_level(*r, lv, payload_profile(header, level));
     return lv;
   }
 };
@@ -313,10 +320,12 @@ CompressedAmr tac_compress(const amr::AmrDataset& ds, const TacConfig& cfg) {
 amr::AmrDataset decompress_any(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   CommonHeader h = read_common_header(r);
-  // v2: every payload is about to be read — catch corruption up front as
+  // v2+: every payload is about to be read — catch corruption up front as
   // a checksum error rather than a decoder misparse. No-op for v1.
   verify_payloads(bytes, h.index);
-  return backend_for(h.method).decompress(r, std::move(h.skeleton));
+  // The header (still valid: only the skeleton is moved from) carries the
+  // per-payload codec profiles the backend dispatches on.
+  return backend_for(h.method).decompress(r, std::move(h.skeleton), h);
 }
 
 amr::AmrLevel decompress_level(std::span<const std::uint8_t> bytes,

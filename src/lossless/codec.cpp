@@ -1,20 +1,86 @@
 #include "lossless/codec.hpp"
 
+#include <atomic>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 #include "common/bytes.hpp"
 #include "lossless/lzss.hpp"
 
 namespace tac::lossless {
 namespace {
-enum class Method : std::uint8_t { kStored = 0, kLzss = 1 };
+enum class Method : std::uint8_t { kStored = 0, kLzss = 1, kLzss2 = 2 };
+
+// -1 = follow the environment; otherwise a CodecProfile value.
+std::atomic<int> g_profile_override{-1};
+
+CodecProfile profile_from_env() {
+  const char* env = std::getenv("TAC_CODEC_PROFILE");
+  if (env == nullptr || *env == '\0') return CodecProfile::kFast;
+  const std::string v(env);
+  if (v == "legacy" || v == "0") return CodecProfile::kLegacy;
+  if (v == "fast" || v == "1") return CodecProfile::kFast;
+  throw ProfileError("TAC_CODEC_PROFILE: unknown value \"" + v +
+                     "\" (expected \"legacy\" or \"fast\")");
+}
+
+bool method_allowed(Method m, CodecProfile profile) {
+  switch (profile) {
+    case CodecProfile::kLegacy:
+      return m == Method::kStored || m == Method::kLzss;
+    case CodecProfile::kFast:
+      return m == Method::kStored || m == Method::kLzss2;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> decode_method(Method method, ByteReader& r) {
+  switch (method) {
+    case Method::kLzss:
+      return lzss_decompress(r.get_bytes(r.remaining()));
+    case Method::kLzss2:
+      return lzss2_decompress(r.get_bytes(r.remaining()));
+    case Method::kStored: {
+      const std::uint64_t n = r.get_varint();
+      const auto bytes = r.get_bytes(static_cast<std::size_t>(n));
+      return {bytes.begin(), bytes.end()};
+    }
+  }
+  throw std::runtime_error("lossless: unknown method byte");
+}
+
 }  // namespace
 
-std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
-  auto packed = lzss_compress(input);
+const char* to_string(CodecProfile p) {
+  switch (p) {
+    case CodecProfile::kLegacy:
+      return "legacy";
+    case CodecProfile::kFast:
+      return "fast";
+  }
+  return "unknown";
+}
+
+CodecProfile default_profile() {
+  const int ov = g_profile_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return static_cast<CodecProfile>(ov);
+  static const CodecProfile env_profile = profile_from_env();
+  return env_profile;
+}
+
+void set_default_profile(CodecProfile p) {
+  g_profile_override.store(static_cast<int>(p), std::memory_order_relaxed);
+}
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input,
+                                   CodecProfile profile) {
+  auto packed = profile == CodecProfile::kFast ? lzss2_compress(input)
+                                               : lzss_compress(input);
   ByteWriter w;
   if (packed.size() < input.size()) {
-    w.put<std::uint8_t>(static_cast<std::uint8_t>(Method::kLzss));
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(
+        profile == CodecProfile::kFast ? Method::kLzss2 : Method::kLzss));
     w.put_bytes(packed);
   } else {
     w.put<std::uint8_t>(static_cast<std::uint8_t>(Method::kStored));
@@ -28,16 +94,20 @@ std::vector<std::uint8_t> decompress(
     std::span<const std::uint8_t> compressed) {
   ByteReader r(compressed);
   const auto method = static_cast<Method>(r.get<std::uint8_t>());
-  switch (method) {
-    case Method::kLzss:
-      return lzss_decompress(r.get_bytes(r.remaining()));
-    case Method::kStored: {
-      const std::uint64_t n = r.get_varint();
-      const auto bytes = r.get_bytes(static_cast<std::size_t>(n));
-      return {bytes.begin(), bytes.end()};
-    }
-  }
-  throw std::runtime_error("lossless: unknown method byte");
+  return decode_method(method, r);
+}
+
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> compressed,
+                                     CodecProfile expected) {
+  ByteReader r(compressed);
+  const auto method = static_cast<Method>(r.get<std::uint8_t>());
+  if (!method_allowed(method, expected))
+    throw ProfileError(
+        std::string("lossless: stream method byte ") +
+        std::to_string(static_cast<int>(method)) +
+        " does not belong to the declared codec profile \"" +
+        to_string(expected) + "\"");
+  return decode_method(method, r);
 }
 
 }  // namespace tac::lossless

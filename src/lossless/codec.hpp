@@ -7,20 +7,64 @@
 /// Mirrors SZ's "customized Huffman + lossless" tail: the caller entropy
 /// codes its symbols, then runs the whole payload through this dictionary
 /// stage. Falls back to a stored block when compression does not pay.
+///
+/// Two codec profiles exist. `kLegacy` reproduces the original
+/// bit-packed LZSS stream byte-for-byte (golden containers depend on it);
+/// `kFast` selects the byte-aligned LZSS v2 stream (chained + lazy
+/// matcher with a skip heuristic — see lzss.hpp). The profile of every
+/// container payload is recorded in the v3 payload index, so readers can
+/// validate that a stream carries the method bytes its profile promises.
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace tac::lossless {
 
+/// Which encoder family produced (or is expected in) a lossless stream.
+/// The numeric values are serialized in the container v3 payload index —
+/// never renumber.
+enum class CodecProfile : std::uint8_t { kLegacy = 0, kFast = 1 };
+
+/// Thrown when a stream's method byte disagrees with the profile the
+/// container index declares for it, or when a profile byte itself is
+/// out of range.
+class ProfileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[nodiscard]] const char* to_string(CodecProfile p);
+
+/// Session default: `TAC_CODEC_PROFILE` env ("legacy" / "fast"), read
+/// once; `kFast` when unset. Throws ProfileError on an unknown value.
+[[nodiscard]] CodecProfile default_profile();
+
+/// Test knob: overrides the env-derived default for subsequent
+/// `default_profile()` calls (process-wide).
+void set_default_profile(CodecProfile p);
+
 /// Compresses arbitrary bytes; never loses data, never grows the payload by
 /// more than one header byte plus the varint size.
 [[nodiscard]] std::vector<std::uint8_t> compress(
-    std::span<const std::uint8_t> input);
+    std::span<const std::uint8_t> input, CodecProfile profile);
 
+[[nodiscard]] inline std::vector<std::uint8_t> compress(
+    std::span<const std::uint8_t> input) {
+  return compress(input, default_profile());
+}
+
+/// Lenient decode: dispatches on the stream's own method byte, accepting
+/// any known method (v1/v2 containers carry no per-payload profile).
 [[nodiscard]] std::vector<std::uint8_t> decompress(
     std::span<const std::uint8_t> compressed);
+
+/// Strict decode: additionally requires the method byte to belong to
+/// `expected` (legacy → stored/lzss, fast → stored/lzss2); a mismatch is
+/// a ProfileError. Used when the container index records the profile.
+[[nodiscard]] std::vector<std::uint8_t> decompress(
+    std::span<const std::uint8_t> compressed, CodecProfile expected);
 
 }  // namespace tac::lossless
 

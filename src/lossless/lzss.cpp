@@ -152,6 +152,200 @@ std::vector<std::uint8_t> lzss_compress(std::span<const std::uint8_t> input,
   return out;
 }
 
+namespace {
+
+// --- LZSS v2 (fast profile) -------------------------------------------
+//
+// The v1 encoder above is frozen: golden containers depend on its exact
+// output bytes. Everything below is the fast-profile twin — shared hash
+// chains, different stream format and search policy.
+
+constexpr std::size_t kSkipTrigger = 6;  ///< skip step doubles every 64 misses
+constexpr std::size_t kLazyCutoff = 64;  ///< lazy-probe only modest matches
+constexpr std::size_t kDenseInsert = 128;  ///< chain-insert cap inside a match
+constexpr std::size_t kGoodEnough = 128;   ///< stop the chain walk here
+
+void put_ext(std::vector<std::uint8_t>& out, std::size_t v) {
+  while (v >= 255) {
+    out.push_back(255);
+    v -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lzss2_compress(std::span<const std::uint8_t> input,
+                                         const LzssConfig& cfg) {
+  const std::size_t n = input.size();
+  const std::uint8_t* const in = input.data();
+
+  ByteWriter header;
+  header.put_varint(n);
+  auto out = header.take();
+  out.reserve(out.size() + n / 2 + 16);
+
+  MatchTable& mt = MatchTable::local();
+  mt.next_generation();
+  ArenaScope scratch;
+  const auto prev = scratch.alloc<std::uint64_t>(n);
+
+  const auto insert = [&](std::size_t p) {
+    const std::uint32_t h = hash4(in + p);
+    prev[p] = mt.head[h];
+    mt.head[h] = mt.tag(p);
+  };
+  // Best chain match at `p` (length 0 when none reaches kMinMatch).
+  const auto find = [&](std::size_t p, std::size_t& off) -> std::size_t {
+    std::size_t best_len = 0;
+    const std::size_t limit = n - p;  // match lengths are unbounded in v2
+    std::uint64_t entry = mt.head[hash4(in + p)];
+    unsigned walked = 0;
+    while (mt.valid(entry) && walked < cfg.max_chain) {
+      const auto c = static_cast<std::size_t>(entry & MatchTable::kPosMask);
+      if (p - c > kWindow) break;
+      // One-byte probe at the current best length: a candidate that can't
+      // beat best_len differs there, so most losers cost one compare
+      // instead of a full match_length scan. (best_len < limit here —
+      // len == limit broke out of the walk below.)
+      if (in[c + best_len] == in[p + best_len]) {
+        const std::size_t len = match_length(in, c, p, limit);
+        if (len > best_len) {
+          best_len = len;
+          off = p - c;
+          // Deep runs put hundreds of near-identical candidates on one
+          // chain; once the match is long enough that the token cost is
+          // negligible, walking on trades real time for ~nothing.
+          if (len == limit || len >= kGoodEnough) break;
+        }
+      }
+      entry = prev[c];
+      ++walked;
+    }
+    return best_len >= kMinMatch ? best_len : 0;
+  };
+  const auto emit = [&](std::size_t lit_start, std::size_t lit_end,
+                        std::size_t mlen, std::size_t off) {
+    const std::size_t lits = lit_end - lit_start;
+    const std::size_t ln = std::min<std::size_t>(lits, 15);
+    const std::size_t mn =
+        mlen == 0 ? 0 : std::min<std::size_t>(mlen - kMinMatch, 15);
+    out.push_back(static_cast<std::uint8_t>((ln << 4) | mn));
+    if (ln == 15) put_ext(out, lits - 15);
+    out.insert(out.end(), in + lit_start, in + lit_end);
+    if (mlen != 0) {
+      const std::size_t o = off - 1;
+      out.push_back(static_cast<std::uint8_t>(o & 0xff));
+      out.push_back(static_cast<std::uint8_t>(o >> 8));
+      if (mn == 15) put_ext(out, mlen - kMinMatch - 15);
+    }
+  };
+
+  std::size_t pos = 0;
+  std::size_t lit_start = 0;
+  std::size_t acc = std::size_t{1} << kSkipTrigger;
+  while (pos + kMinMatch <= n) {
+    std::size_t off = 0;
+    std::size_t len = find(pos, off);
+    insert(pos);
+    if (len == 0) {
+      // Greedy skip: every 2^kSkipTrigger consecutive misses widen the
+      // probe stride, so incompressible data costs ~O(n / stride) probes.
+      pos += acc++ >> kSkipTrigger;
+      continue;
+    }
+    acc = std::size_t{1} << kSkipTrigger;
+    // One-step lazy: a strictly longer match starting one byte later wins;
+    // the displaced byte joins the pending literal run.
+    if (len < kLazyCutoff && pos + 1 + kMinMatch <= n) {
+      std::size_t off1 = 0;
+      const std::size_t len1 = find(pos + 1, off1);
+      if (len1 > len) {
+        insert(pos + 1);
+        ++pos;
+        len = len1;
+        off = off1;
+      }
+    }
+    emit(lit_start, pos, len, off);
+    const std::size_t end = pos + len;
+    // Index positions inside the match so later matches can start there;
+    // cap the work for very long matches (the tail keeps chains alive
+    // across the boundary).
+    const std::size_t dense_end = std::min(end, pos + 1 + kDenseInsert);
+    for (std::size_t p = pos + 1; p < dense_end && p + kMinMatch <= n; ++p)
+      insert(p);
+    if (end > dense_end)
+      for (std::size_t p = std::max(dense_end, end - 3);
+           p < end && p + kMinMatch <= n; ++p)
+        insert(p);
+    pos = end;
+    lit_start = end;
+  }
+  emit(lit_start, n, 0, 0);
+  return out;
+}
+
+std::vector<std::uint8_t> lzss2_decompress(
+    std::span<const std::uint8_t> compressed) {
+  ByteReader r(compressed);
+  const auto n = static_cast<std::size_t>(r.get_varint());
+  const auto payload = r.get_bytes(r.remaining());
+  const std::uint8_t* p = payload.data();
+  const std::uint8_t* const pe = p + payload.size();
+
+  std::vector<std::uint8_t> out(n);
+  std::size_t w = 0;
+  const auto need = [&](std::size_t k) {
+    if (static_cast<std::size_t>(pe - p) < k)
+      throw std::runtime_error("lzss2: truncated stream");
+  };
+  const auto read_ext = [&]() {
+    std::size_t v = 0;
+    std::uint8_t b;
+    do {
+      need(1);
+      b = *p++;
+      v += b;
+    } while (b == 255);
+    return v;
+  };
+  while (w < n) {
+    need(1);
+    const std::uint8_t token = *p++;
+    std::size_t lits = token >> 4;
+    if (lits == 15) lits += read_ext();
+    need(lits);
+    if (lits > n - w) throw std::runtime_error("lzss2: size mismatch");
+    std::memcpy(out.data() + w, p, lits);
+    p += lits;
+    w += lits;
+    if (w == n) break;  // final token carries literals only
+    need(2);
+    const std::size_t off =
+        (static_cast<std::size_t>(p[0]) |
+         (static_cast<std::size_t>(p[1]) << 8)) +
+        1;
+    p += 2;
+    std::size_t len = token & 0xf;
+    if (len == 15) len += read_ext();
+    len += kMinMatch;
+    if (off > w)
+      throw std::runtime_error("lzss2: match offset before stream start");
+    if (len > n - w) throw std::runtime_error("lzss2: size mismatch");
+    const std::size_t src = w - off;
+    if (off >= len) {
+      std::memcpy(out.data() + w, out.data() + src, len);
+    } else if (off == 1) {
+      std::memset(out.data() + w, out[src], len);
+    } else {
+      for (std::size_t i = 0; i < len; ++i) out[w + i] = out[src + i];
+    }
+    w += len;
+  }
+  return out;
+}
+
 std::vector<std::uint8_t> lzss_decompress(
     std::span<const std::uint8_t> compressed) {
   ByteReader r(compressed);

@@ -26,6 +26,25 @@ struct LzssConfig {
 [[nodiscard]] std::vector<std::uint8_t> lzss_decompress(
     std::span<const std::uint8_t> compressed);
 
+/// LZSS v2: the fast-profile stream (see `lossless::CodecProfile`). Same
+/// 64 KiB window and hash-chain index as v1, but a byte-aligned token
+/// format (no flag-bit stream), one-step lazy matching, unbounded match
+/// lengths, and a skip heuristic that accelerates through incompressible
+/// runs instead of probing every byte.
+///
+/// Stream layout: varint uncompressed size, then tokens. Each token is a
+/// control byte `(literal_run << 4) | (match_len - 4)` — either nibble
+/// saturates at 15 and continues in LZ4-style extension bytes (add each
+/// byte, stop on a byte != 255) — followed by the literal bytes, then a
+/// 2-byte little-endian offset-minus-1 (window 1..65536) and the match
+/// length extension. The final token carries literals only; the decoder
+/// stops once the declared size is reached.
+[[nodiscard]] std::vector<std::uint8_t> lzss2_compress(
+    std::span<const std::uint8_t> input, const LzssConfig& cfg = {});
+
+[[nodiscard]] std::vector<std::uint8_t> lzss2_decompress(
+    std::span<const std::uint8_t> compressed);
+
 }  // namespace tac::lossless
 
 #endif  // TAC_LOSSLESS_LZSS_HPP

@@ -6,6 +6,8 @@
 
 #include <cstdint>
 
+#include "lossless/codec.hpp"
+
 namespace tac::sz {
 
 /// How the error bound parameter is interpreted.
@@ -43,6 +45,12 @@ struct SzConfig {
   Predictor predictor = Predictor::kLorenzo;
   /// Side of the prediction tiles in kHybrid mode (SZ2 uses 6).
   std::size_t pred_block = 6;
+  /// Lossless encoder family for every byte stream this compressor emits,
+  /// and gate for the wide-wavefront Lorenzo scan order. Not serialized
+  /// in the sz stream itself — the container's v3 payload index records
+  /// it; the decoder is told the expected profile (or decodes leniently
+  /// for pre-v3 containers).
+  lossless::CodecProfile profile = lossless::default_profile();
 
   [[nodiscard]] SzConfig with_error_bound(double eb) const {
     SzConfig c = *this;

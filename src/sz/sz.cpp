@@ -1,10 +1,12 @@
 #include "sz/sz.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "common/arena.hpp"
 #include "common/bytes.hpp"
@@ -389,13 +391,76 @@ template <class T>
           finite_or_zero(static_cast<double>(yzm[x - 1])));
 }
 
+/// Wavefront width of the fast codec profile's Lorenzo scan order
+/// (simd::kWavefrontRows interior rows in flight, each staggered kRowLag
+/// cells behind the row above). The legacy 3-row interleave is kept
+/// verbatim for legacy-profile streams; both orders evaluate the same
+/// expression tree per cell, so decoded values are identical — only the
+/// instruction schedule (and thus throughput) differs.
+constexpr std::size_t kWaveRows = simd::kWavefrontRows;
+
+/// Runs one W-row interleaved wavefront over interior rows [y, y+W) of
+/// plane z. `first_cell(w, i, yy)` handles the x == 0 boundary cell of
+/// row w; `row_cell(w, i, pred)` the interior cells. Both return the
+/// filtered reconstructed value that becomes the row's carried `left`.
+template <std::size_t W, class T, class FirstCell, class RowCell>
+[[gnu::always_inline]] inline void wave_rows(const T* recon,
+                                             std::size_t plane, std::size_t y,
+                                             std::size_t nx, std::size_t nxy,
+                                             FirstCell&& first_cell,
+                                             RowCell&& row_cell) {
+  std::array<std::size_t, W> rows;
+  std::array<const T*, W> ym;
+  std::array<const T*, W> zm;
+  std::array<const T*, W> yzm;
+  std::array<double, W> left;
+  for (std::size_t w = 0; w < W; ++w) {
+    rows[w] = plane + (y + w) * nx;
+    const T* rc = recon + rows[w];
+    ym[w] = rc - nx;
+    zm[w] = rc - nxy;
+    yzm[w] = zm[w] - nx;
+    left[w] = first_cell(w, rows[w], y + w);
+  }
+  const auto ramp = [&](std::size_t x) __attribute__((always_inline)) {
+    [&]<std::size_t... Ws>(std::index_sequence<Ws...>)
+        __attribute__((always_inline)) {
+          (((x >= 1 + Ws * kRowLag && x < nx + Ws * kRowLag)
+                ? (void)(left[Ws] = row_cell(
+                       Ws, rows[Ws] + (x - Ws * kRowLag),
+                       lorenzo_row_predict(left[Ws], ym[Ws], zm[Ws], yzm[Ws],
+                                           x - Ws * kRowLag)))
+                : (void)0),
+           ...);
+        }(std::make_index_sequence<W>{});
+  };
+  // Ramp-up and drain keep the per-lane range tests; the steady-state
+  // loop (every lane in flight) runs branchless.
+  const std::size_t steady_begin = 1 + (W - 1) * kRowLag;
+  const std::size_t x_end = nx + (W - 1) * kRowLag;
+  std::size_t x = 1;
+  for (; x < steady_begin && x < x_end; ++x) ramp(x);
+  for (; x < nx; ++x) {
+    [&]<std::size_t... Ws>(std::index_sequence<Ws...>)
+        __attribute__((always_inline)) {
+          ((left[Ws] = row_cell(Ws, rows[Ws] + (x - Ws * kRowLag),
+                                lorenzo_row_predict(left[Ws], ym[Ws], zm[Ws],
+                                                    yzm[Ws],
+                                                    x - Ws * kRowLag))),
+           ...);
+        }(std::make_index_sequence<W>{});
+  }
+  for (; x < x_end; ++x) ramp(x);
+}
+
 /// Quantizes one block: fills `codes` and `recon` (the values the
 /// decompressor will see). Returns the number of outliers (codes[i] == 0
 /// cells); their exact values are collected by a second pass in compress.
+/// `wide` selects the fast-profile wavefront scan order.
 template <class T>
 std::size_t quantize_block(const T* block, Dims3 dims, double eb,
                            std::uint32_t radius, std::uint32_t* codes,
-                           T* recon, const TilePlan* plan) {
+                           T* recon, const TilePlan* plan, bool wide) {
   const ReconView<T> view{recon, dims};
   const std::size_t nx = dims.nx;
   const std::size_t nxy = dims.nx * dims.ny;
@@ -437,10 +502,23 @@ std::size_t quantize_block(const T* block, Dims3 dims, double eb,
       for (std::size_t x = 0; x < nx; ++x)
         cell(plane + x, lorenzo_predict(view, x, 0, z));
       std::size_t y = 1;
+      if (wide) {
+        for (; y + (kWaveRows - 1) < dims.ny; y += kWaveRows)
+          wave_rows<kWaveRows, T>(
+              recon, plane, y, nx, nxy,
+              [&](std::size_t, std::size_t i, std::size_t yy)
+                  __attribute__((always_inline)) {
+                    return cell(i, lorenzo_predict(view, 0, yy, z));
+                  },
+              [&](std::size_t, std::size_t i, double pred)
+                  __attribute__((always_inline)) { return cell(i, pred); });
+      }
       // Interleave triples of interior rows, each staggered kRowLag cells
       // behind the one above: row y+1's cell x only reads row-y cells
       // <= x - 1, all retired at least kRowLag iterations earlier, so the
-      // three dependency chains are independent and overlap.
+      // three dependency chains are independent and overlap. Under the
+      // wide profile this also mops up the <= kWaveRows-1 rows left after
+      // the last full wavefront (both orders compute identical values).
       for (; y + 2 < dims.ny; y += 3) {
         const std::size_t r0 = plane + y * nx;
         const std::size_t r1 = r0 + nx;
@@ -542,8 +620,8 @@ std::size_t quantize_block(const T* block, Dims3 dims, double eb,
 template <class T>
 void reconstruct_block(const std::uint32_t* codes, Dims3 dims, double eb,
                        std::uint32_t radius, const T* outliers,
-                       std::size_t n_outliers, T* out,
-                       const TilePlan* plan) {
+                       std::size_t n_outliers, T* out, const TilePlan* plan,
+                       bool wide) {
   const ReconView<T> view{out, dims};
   const std::size_t nx = dims.nx;
   const std::size_t nxy = dims.nx * dims.ny;
@@ -586,6 +664,33 @@ void reconstruct_block(const std::uint32_t* codes, Dims3 dims, double eb,
       for (std::size_t x = 0; x < nx; ++x)
         rcell(plane + x, lorenzo_predict(view, x, 0, z), oi);
       std::size_t y = 1;
+      if (wide) {
+        for (; y + (kWaveRows - 1) < dims.ny; y += kWaveRows) {
+          // Per-row outlier cursors: row w starts past every code-0 cell
+          // of the rows above it, so the k-th zero cell in scan order
+          // still takes outliers[k] — the wavefront only reorders the
+          // instruction schedule.
+          std::array<std::size_t, kWaveRows> cur;
+          cur[0] = oi;
+          for (std::size_t w = 0; w + 1 < kWaveRows; ++w) {
+            const std::size_t row = plane + (y + w) * nx;
+            std::size_t zeros = 0;
+            for (std::size_t x = 0; x < nx; ++x) zeros += codes[row + x] == 0;
+            cur[w + 1] = cur[w] + zeros;
+          }
+          wave_rows<kWaveRows, T>(
+              out, plane, y, nx, nxy,
+              [&](std::size_t w, std::size_t i, std::size_t yy)
+                  __attribute__((always_inline)) {
+                    return rcell(i, lorenzo_predict(view, 0, yy, z), cur[w]);
+                  },
+              [&](std::size_t w, std::size_t i, double pred)
+                  __attribute__((always_inline)) {
+                    return rcell(i, pred, cur[w]);
+                  });
+          oi = cur[kWaveRows - 1];
+        }
+      }
       for (; y + 2 < dims.ny; y += 3) {
         const std::size_t r0 = plane + y * nx;
         const std::size_t r1 = r0 + nx;
@@ -826,7 +931,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims3 dims,
     w.put_varint(cfg.pred_block);
     w.put<std::uint8_t>(static_cast<std::uint8_t>(StreamKind::kPwRel));
     w.put_blob(inner);
-    w.put_blob(lossless::compress(pack_sign_bits(data)));
+    w.put_blob(lossless::compress(pack_sign_bits(data), cfg.profile));
     w.put_varint(exceptions.size());
     std::uint64_t prev = 0;
     for (const auto& [idx, val] : exceptions) {
@@ -891,7 +996,8 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims3 dims,
         offsets[b + 1] =
             quantize_block(data.data() + b * vol, dims, abs_eb,
                            cfg.quant_radius, codes.data() + b * vol,
-                           recon.data() + b * vol, plan);
+                           recon.data() + b * vol, plan,
+                           cfg.profile == lossless::CodecProfile::kFast);
       },
       /*grain=*/1);
 
@@ -919,13 +1025,13 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims3 dims,
 
   const auto huff = lossless::huffman_compress(
       std::span<const std::uint32_t>(codes.data(), codes.size()));
-  const auto huff_packed = lossless::compress(huff);
+  const auto huff_packed = lossless::compress(huff, cfg.profile);
   w.put_blob(huff_packed);
 
   std::span<const std::uint8_t> outlier_bytes{
       reinterpret_cast<const std::uint8_t*>(outliers.data()),
       outliers.size() * sizeof(T)};
-  const auto outliers_packed = lossless::compress(outlier_bytes);
+  const auto outliers_packed = lossless::compress(outlier_bytes, cfg.profile);
   w.put_blob(outliers_packed);
   w.put_blob(counts_w.buffer());
 
@@ -948,8 +1054,8 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims3 dims,
         coeff_bytes.insert(coeff_bytes.end(), pc, pc + sizeof(c));
       }
     }
-    w.put_blob(lossless::compress(mode_bits));
-    w.put_blob(lossless::compress(coeff_bytes));
+    w.put_blob(lossless::compress(mode_bits, cfg.profile));
+    w.put_blob(lossless::compress(coeff_bytes, cfg.profile));
   }
   return w.take();
 }
@@ -989,13 +1095,21 @@ Header read_header(ByteReader& r) {
 }  // namespace
 
 template <class T>
-std::vector<T> decompress(std::span<const std::uint8_t> bytes) {
+std::vector<T> decompress(std::span<const std::uint8_t> bytes,
+                          std::optional<lossless::CodecProfile> expected) {
   ByteReader r(bytes);
   Header h = read_header(r);
   if (h.info.scalar_size != sizeof(T))
     throw std::runtime_error("sz::decompress: scalar type mismatch");
   const std::size_t vol = h.info.block_dims.volume();
   const std::size_t total = vol * h.info.nblocks;
+
+  // Strict when the container declared a profile for this payload,
+  // lenient (dispatch on each stream's own method byte) otherwise.
+  const auto unpack = [&](std::span<const std::uint8_t> blob) {
+    return expected ? lossless::decompress(blob, *expected)
+                    : lossless::decompress(blob);
+  };
 
   if (h.kind == StreamKind::kConstant) {
     const T v = r.get<T>();
@@ -1004,10 +1118,10 @@ std::vector<T> decompress(std::span<const std::uint8_t> bytes) {
 
   if (h.kind == StreamKind::kPwRel) {
     const auto inner = r.get_blob();
-    std::vector<T> logs = decompress<T>(inner);
+    std::vector<T> logs = decompress<T>(inner, expected);
     if (logs.size() != total)
       throw std::runtime_error("sz::decompress: pw-rel payload mismatch");
-    const auto sign_bytes = lossless::decompress(r.get_blob());
+    const auto sign_bytes = unpack(r.get_blob());
     if (sign_bytes.size() < (total + 7) / 8)
       throw std::runtime_error("sz::decompress: pw-rel sign bits truncated");
     std::vector<T> out(total);
@@ -1028,14 +1142,14 @@ std::vector<T> decompress(std::span<const std::uint8_t> bytes) {
   }
 
   const auto huff_packed = r.get_blob();
-  const auto huff = lossless::decompress(huff_packed);
+  const auto huff = unpack(huff_packed);
   const auto codes = lossless::huffman_decompress(huff);
   if (codes.size() != total)
     throw std::runtime_error("sz::decompress: code count mismatch");
 
   ArenaScope scratch;
   const auto outliers_packed = r.get_blob();
-  const auto outlier_bytes = lossless::decompress(outliers_packed);
+  const auto outlier_bytes = unpack(outliers_packed);
   if (outlier_bytes.size() % sizeof(T) != 0)
     throw std::runtime_error("sz::decompress: outlier byte count");
   const auto outliers = scratch.alloc<T>(outlier_bytes.size() / sizeof(T));
@@ -1054,8 +1168,8 @@ std::vector<T> decompress(std::span<const std::uint8_t> bytes) {
 
   std::vector<TilePlan> plans;
   if (h.cfg.predictor == Predictor::kHybrid) {
-    const auto mode_bits = lossless::decompress(r.get_blob());
-    const auto coeff_bytes = lossless::decompress(r.get_blob());
+    const auto mode_bits = unpack(r.get_blob());
+    const auto coeff_bytes = unpack(r.get_blob());
     if (coeff_bytes.size() % (4 * sizeof(float)) != 0)
       throw std::runtime_error("sz::decompress: coefficient payload");
     const Dims3 tiles = tile_counts(h.info.block_dims, h.cfg.pred_block);
@@ -1088,13 +1202,14 @@ std::vector<T> decompress(std::span<const std::uint8_t> bytes) {
   std::vector<T> out(total);
   const double eb = h.info.abs_error_bound;
   const std::uint32_t radius = h.cfg.quant_radius;
+  const bool wide = expected == lossless::CodecProfile::kFast;
   parallel_for(
       0, h.info.nblocks,
       [&](std::size_t b) {
         reconstruct_block(codes.data() + b * vol, h.info.block_dims, eb,
                           radius, outliers.data() + offsets[b],
                           offsets[b + 1] - offsets[b], out.data() + b * vol,
-                          plans.empty() ? nullptr : &plans[b]);
+                          plans.empty() ? nullptr : &plans[b], wide);
       },
       /*grain=*/1);
   return out;
@@ -1138,8 +1253,9 @@ template std::vector<std::uint8_t> compress<float>(std::span<const float>,
 template std::vector<std::uint8_t> compress<double>(std::span<const double>,
                                                     Dims3, const SzConfig&,
                                                     std::size_t);
-template std::vector<float> decompress<float>(std::span<const std::uint8_t>);
+template std::vector<float> decompress<float>(
+    std::span<const std::uint8_t>, std::optional<lossless::CodecProfile>);
 template std::vector<double> decompress<double>(
-    std::span<const std::uint8_t>);
+    std::span<const std::uint8_t>, std::optional<lossless::CodecProfile>);
 
 }  // namespace tac::sz

@@ -12,6 +12,7 @@
 /// Prediction never crosses block boundaries.
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -45,9 +46,16 @@ template <class T>
                                                  std::size_t nblocks = 1);
 
 /// Decompresses a stream produced by compress<T>. Throws if the stream's
-/// scalar type does not match T.
+/// scalar type does not match T. When `expected` is set (the container's
+/// v3 index declared a codec profile for this payload), every embedded
+/// lossless blob must carry a method byte of that profile — a mismatch is
+/// a lossless::ProfileError; nullopt decodes leniently (pre-v3
+/// containers). The fast profile also selects the wide-wavefront Lorenzo
+/// reconstruction order (same values, better ILP).
 template <class T>
-[[nodiscard]] std::vector<T> decompress(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::vector<T> decompress(
+    std::span<const std::uint8_t> bytes,
+    std::optional<lossless::CodecProfile> expected = std::nullopt);
 
 /// Reads the stream header without decompressing the payload.
 [[nodiscard]] SzStreamInfo peek(std::span<const std::uint8_t> bytes);

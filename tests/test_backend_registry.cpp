@@ -204,7 +204,8 @@ class RawBackend final : public CompressorBackend {
   }
 
   [[nodiscard]] amr::AmrDataset decompress(
-      ByteReader& r, amr::AmrDataset skeleton) const override {
+      ByteReader& r, amr::AmrDataset skeleton,
+      const CommonHeader&) const override {
     for (std::size_t l = 0; l < skeleton.num_levels(); ++l) {
       auto& lv = skeleton.level(l);
       const auto blob = r.get_blob();
