@@ -30,6 +30,9 @@ struct Measurement {
   double seconds = 0;  ///< timed compress + decompress, generation excluded
   std::size_t compressed_bytes = 0;
   std::size_t index_bytes = 0;
+  double compress_seconds = 0;   ///< compress wall time alone
+  double selection_seconds = 0;  ///< auto only: summed trial time
+  std::string winners;           ///< auto only: per-level picks, finest first
 };
 
 Measurement measure(const amr::AmrDataset& ds, core::Method method,
@@ -47,6 +50,14 @@ Measurement measure(const amr::AmrDataset& ds, core::Method method,
   m.throughput_mbs = throughput_mbs(ds.original_bytes(), secs);
   m.seconds = secs;
   m.compressed_bytes = compressed.bytes.size();
+  m.compress_seconds = compressed.report.seconds;
+  for (const core::LevelReport& lr : compressed.report.levels) {
+    m.selection_seconds += lr.selection_seconds;
+    if (method == core::Method::kAuto) {
+      if (!m.winners.empty()) m.winners += ",";
+      m.winners += core::to_string(lr.method);
+    }
+  }
   ByteReader r(compressed.bytes);
   const core::CommonHeader h = core::read_common_header(r);
   m.index_bytes = h.payload_offset - h.index_offset;
@@ -79,12 +90,15 @@ bool write_json(const std::vector<JsonRow>& rows, double aggregate_overhead,
         "    {\"dataset\": \"%s\", \"abs_eb\": %.3e, \"method\": \"%s\", "
         "\"throughput_mbs\": %.2f, \"seconds\": %.4f, "
         "\"compressed_bytes\": %zu, "
-        "\"index_bytes\": %zu, \"index_overhead\": %.6f}%s\n",
+        "\"index_bytes\": %zu, \"index_overhead\": %.6f",
         row.dataset.c_str(), row.abs_eb, row.method, row.m.throughput_mbs,
         row.m.seconds, row.m.compressed_bytes, row.m.index_bytes,
         static_cast<double>(row.m.index_bytes) /
-            static_cast<double>(row.m.compressed_bytes),
-        i + 1 == rows.size() ? "" : ",");
+            static_cast<double>(row.m.compressed_bytes));
+    if (!row.m.winners.empty())  // auto rows: the per-level picks
+      std::fprintf(f, ", \"winners\": \"%s\", \"selection_seconds\": %.4f",
+                   row.m.winners.c_str(), row.m.selection_seconds);
+    std::fprintf(f, "}%s\n", i + 1 == rows.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   return std::fclose(f) == 0;
@@ -110,22 +124,36 @@ int main() {
   double max_overhead = 0;
   double total_seconds = 0;
   std::size_t total_index = 0, total_compressed = 0;
-  std::printf("%-10s %12s %10s %10s %10s %12s\n", "dataset", "abs_eb", "1D",
-              "3D", "TAC", "TAC/3D");
+  // Acceptance tracking for the auto selector: aggregate compressed size
+  // per method (auto must beat or match the best fixed backend) and the
+  // selection overhead as a fraction of auto's compression wall time.
+  std::size_t total_1d = 0, total_3d = 0, total_tac = 0, total_auto = 0;
+  double auto_selection_seconds = 0, auto_compress_seconds = 0;
+  std::printf("%-10s %12s %10s %10s %10s %10s %12s\n", "dataset", "abs_eb",
+              "1D", "3D", "TAC", "auto", "TAC/3D");
   for (const auto& preset : presets) {
     const auto ds = simnyx::generate_preset(preset);
     for (const double eb : ebs) {
       const Measurement m1d = measure(ds, core::Method::kOneD, eb);
       const Measurement m3d = measure(ds, core::Method::kUpsample3D, eb);
       const Measurement mtac = measure(ds, core::Method::kTac, eb);
-      std::printf("%-10s %12.1e %10.1f %10.1f %10.1f %11.1fx\n",
+      const Measurement mauto = measure(ds, core::Method::kAuto, eb);
+      std::printf("%-10s %12.1e %10.1f %10.1f %10.1f %10.1f %11.1fx\n",
                   preset.name.c_str(), eb, m1d.throughput_mbs,
                   m3d.throughput_mbs, mtac.throughput_mbs,
+                  mauto.throughput_mbs,
                   mtac.throughput_mbs / m3d.throughput_mbs);
       rows.push_back({preset.name, eb, "1D", m1d});
       rows.push_back({preset.name, eb, "3D", m3d});
       rows.push_back({preset.name, eb, "TAC", mtac});
-      for (const Measurement* m : {&m1d, &m3d, &mtac}) {
+      rows.push_back({preset.name, eb, "auto", mauto});
+      total_1d += m1d.compressed_bytes;
+      total_3d += m3d.compressed_bytes;
+      total_tac += mtac.compressed_bytes;
+      total_auto += mauto.compressed_bytes;
+      auto_selection_seconds += mauto.selection_seconds;
+      auto_compress_seconds += mauto.compress_seconds;
+      for (const Measurement* m : {&m1d, &m3d, &mtac, &mauto}) {
         max_overhead = std::max(
             max_overhead, static_cast<double>(m->index_bytes) /
                               static_cast<double>(m->compressed_bytes));
@@ -153,5 +181,25 @@ int main() {
               100.0 * max_overhead);
   std::printf("\nshape check: TAC/3D ratio should grow sharply on the Run2 "
               "rows (sparse finest levels).\n");
-  return (aggregate < 0.01 && json_ok) ? 0 : 1;
+
+  // Auto-selector acceptance: its aggregate compressed size must beat or
+  // match the best single fixed backend, and the trial selection must
+  // cost <10% of auto's compression wall time at the default sampling
+  // rate.
+  const std::size_t best_fixed = std::min({total_1d, total_3d, total_tac});
+  const double selection_frac =
+      auto_compress_seconds > 0 ? auto_selection_seconds / auto_compress_seconds
+                                : 0;
+  const bool auto_size_ok = total_auto <= best_fixed;
+  const bool auto_overhead_ok = selection_frac < 0.10;
+  std::printf("auto selector: %zu bytes aggregate vs best fixed %zu "
+              "(1D %zu, 3D %zu, TAC %zu) %s\n",
+              total_auto, best_fixed, total_1d, total_3d, total_tac,
+              auto_size_ok ? "OK" : "EXCEEDED");
+  std::printf("auto selection overhead: %.2f%% of compression time "
+              "(budget: <10%%) %s\n",
+              100.0 * selection_frac, auto_overhead_ok ? "OK" : "EXCEEDED");
+  return (aggregate < 0.01 && json_ok && auto_size_ok && auto_overhead_ok)
+             ? 0
+             : 1;
 }

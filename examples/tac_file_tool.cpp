@@ -3,12 +3,15 @@
 /// downstream user would wire into an I/O pipeline.
 ///
 ///   tac_file_tool gen <out.amr> [n=64]        generate a demo snapshot
-///   tac_file_tool compress <in.amr> <out.tac> [rel_eb=1e-4] [method]
+///   tac_file_tool compress <in.amr> <out.tac> [rel_eb=1e-4]
+///                 [--method=m | m] [--objective=ratio|throughput|balanced]
 ///   tac_file_tool decompress <in.tac> <out.amr>
 ///   tac_file_tool extract <in.tac> <out.amr> --level=k [--field=f]
 ///   tac_file_tool info <file> [--timing]      inspect any format
 ///
-/// method: tac (default, adaptive), 1d, zmesh, 3d
+/// method: tac (default, adaptive), 1d, zmesh, 3d, auto (per-level
+/// trial selection over the backend registry; --objective picks what the
+/// trials optimize, default ratio)
 ///
 /// `extract` uses the v2 payload index for random access: --level=k decodes
 /// only level k's payload (TAC/1D containers), and --field=f picks one
@@ -119,11 +122,24 @@ int cmd_gen(const std::string& out, std::size_t n) {
 }
 
 int cmd_compress(const std::string& in, const std::string& out,
-                 double rel_eb, const std::string& method) {
+                 double rel_eb, const std::string& method,
+                 const std::string& objective) {
   const auto ds = amr::load_dataset(in);
   core::TacConfig cfg;
   cfg.sz.mode = sz::ErrorBoundMode::kRelative;
   cfg.sz.error_bound = rel_eb;
+  if (objective == "ratio") {
+    cfg.selector.objective = core::SelectorObjective::kRatio;
+  } else if (objective == "throughput") {
+    cfg.selector.objective = core::SelectorObjective::kThroughput;
+  } else if (objective == "balanced") {
+    cfg.selector.objective = core::SelectorObjective::kBalanced;
+  } else if (!objective.empty()) {
+    std::fprintf(stderr,
+                 "unknown objective '%s' (ratio, throughput, balanced)\n",
+                 objective.c_str());
+    return kExitUsage;
+  }
 
   core::CompressedAmr compressed;
   if (method == "tac") {
@@ -135,6 +151,8 @@ int cmd_compress(const std::string& in, const std::string& out,
   } else if (method == "3d") {
     compressed =
         core::backend_for(core::Method::kUpsample3D).compress(ds, cfg);
+  } else if (method == "auto") {
+    compressed = core::backend_for(core::Method::kAuto).compress(ds, cfg);
   } else {
     std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
     return kExitUsage;
@@ -146,6 +164,13 @@ int cmd_compress(const std::string& in, const std::string& out,
                                           compressed.bytes.size()),
               throughput_mbs(ds.original_bytes(),
                              compressed.report.seconds));
+  if (compressed.report.method == core::Method::kAuto) {
+    std::printf("  per-level winners:");
+    for (std::size_t l = 0; l < compressed.report.levels.size(); ++l)
+      std::printf(" %zu:%s", l,
+                  core::to_string(compressed.report.levels[l].method));
+    std::printf("\n");
+  }
   return 0;
 }
 
@@ -300,14 +325,17 @@ int print_container_info(const std::string& path,
       status = "FAIL";
       all_ok = false;
     }
-    // Pre-v3 containers carry no per-payload profile byte; show "-" so
-    // the column stays aligned across format versions.
+    // Pre-v3 containers carry no per-payload profile byte and pre-v4
+    // containers no selector byte; show "-" so the columns stay aligned
+    // across format versions.
     const auto profile = core::payload_profile(h, i);
+    const auto method = core::payload_method(h, i);
     std::printf("  payload %zu: offset %llu, length %llu, crc32 %08x, "
-                "profile %s  %s\n",
+                "profile %s, method %s  %s\n",
                 i, static_cast<unsigned long long>(e.offset),
                 static_cast<unsigned long long>(e.length), e.crc32,
-                profile ? lossless::to_string(*profile) : "-", status);
+                profile ? lossless::to_string(*profile) : "-",
+                method ? core::to_string(*method) : "-", status);
   }
   const std::size_t index_bytes = h.payload_offset - h.index_offset;
   std::printf("  index: %zu bytes (%.3f%% of container), checksums %s\n",
@@ -377,7 +405,7 @@ int cmd_info(const std::string& path, bool timing) {
 int demo() {
   std::printf("no arguments: running the self-contained demo\n");
   if (const int rc = cmd_gen("demo.amr", 64)) return rc;
-  if (const int rc = cmd_compress("demo.amr", "demo.tac", 1e-4, "tac"))
+  if (const int rc = cmd_compress("demo.amr", "demo.tac", 1e-4, "tac", ""))
     return rc;
   if (const int rc = cmd_info("demo.tac", /*timing=*/false)) return rc;
   if (const int rc = cmd_decompress("demo.tac", "demo_out.amr")) return rc;
@@ -398,7 +426,9 @@ int demo() {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s gen <out.amr> [n] | compress <in> <out> "
-               "[rel_eb] [tac|1d|zmesh|3d] | decompress <in> <out> | "
+               "[rel_eb] [--method=tac|1d|zmesh|3d|auto] "
+               "[--objective=ratio|throughput|balanced] | "
+               "decompress <in> <out> | "
                "extract <in.tac> <out.amr> --level=k [--field=f] | "
                "info <file> [--timing]\n",
                argv0);
@@ -446,9 +476,25 @@ int main(int argc, char** argv) {
     }
     if (cmd == "compress" && argc >= 4) {
       double rel_eb = 1e-4;
-      if (argc >= 5 && !parse_num(argv[4], rel_eb)) return usage(argv[0]);
-      return cmd_compress(argv[2], argv[3], rel_eb,
-                          argc >= 6 ? argv[5] : "tac");
+      std::string method = "tac";
+      std::string objective;
+      bool saw_eb = false, saw_method = false;
+      for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--method=", 0) == 0) {
+          method = arg.substr(9);
+        } else if (arg.rfind("--objective=", 0) == 0) {
+          objective = arg.substr(12);
+        } else if (!saw_eb && parse_num(argv[i], rel_eb)) {
+          saw_eb = true;  // positional [rel_eb]
+        } else if (!saw_method) {
+          method = arg;  // positional [method]
+          saw_method = true;
+        } else {
+          return usage(argv[0]);
+        }
+      }
+      return cmd_compress(argv[2], argv[3], rel_eb, method, objective);
     }
     if (cmd == "decompress" && argc >= 4)
       return cmd_decompress(argv[2], argv[3]);

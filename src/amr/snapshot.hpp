@@ -35,13 +35,22 @@ void save_snapshot(const std::string& path, const Snapshot& s);
 }  // namespace tac::amr
 
 namespace tac::core {
-struct TacConfig;  // forward; defined in core/tac.hpp
+struct TacConfig;                       // forward; defined in core/tac.hpp
+enum class Method : std::uint8_t;       // forward; defined in core/container.hpp
 
 /// Compresses every field of a snapshot with the adaptively selected
 /// method (TAC or 3D baseline, §4.4) under one configuration. The
 /// container is self-describing; decompress with `decompress_snapshot`.
 [[nodiscard]] std::vector<std::uint8_t> compress_snapshot(
     const amr::Snapshot& s, const TacConfig& cfg);
+
+/// Like the two-argument overload, but compresses every field with the
+/// named registered backend instead of the §4.4 density rule. With
+/// Method::kAuto each field runs the per-level trial selection
+/// independently (core/selector.hpp), so the snapshot records per-field,
+/// per-level winners in each field container's v4 index.
+[[nodiscard]] std::vector<std::uint8_t> compress_snapshot(
+    const amr::Snapshot& s, const TacConfig& cfg, Method method);
 
 [[nodiscard]] amr::Snapshot decompress_snapshot(
     std::span<const std::uint8_t> bytes);

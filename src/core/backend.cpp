@@ -23,6 +23,18 @@ amr::AmrLevel CompressorBackend::decompress_level(
   return std::move(full.level(level));
 }
 
+LevelPayload CompressorBackend::compress_level_payload(
+    const amr::AmrLevel&, std::size_t, const TacConfig&) const {
+  throw std::logic_error(std::string(name()) +
+                         " backend does not support per-level payloads");
+}
+
+void CompressorBackend::decompress_level_payload(
+    ByteReader&, amr::AmrLevel&, lossless::CodecProfile) const {
+  throw std::logic_error(std::string(name()) +
+                         " backend does not support per-level payloads");
+}
+
 namespace {
 
 /// Method is a uint8_t tag, so a flat array covers the whole key space.
@@ -40,7 +52,8 @@ Registry& registry() {
   static const bool installed = [] {
     for (auto make :
          {detail::make_tac_backend, detail::make_oned_backend,
-          detail::make_zmesh_backend, detail::make_upsample3d_backend}) {
+          detail::make_zmesh_backend, detail::make_upsample3d_backend,
+          detail::make_auto_backend}) {
       auto backend = make();
       r.slots[static_cast<std::uint8_t>(backend->method())] =
           std::move(backend);

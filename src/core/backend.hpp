@@ -28,6 +28,13 @@
 
 namespace tac::core {
 
+/// One level encoded standalone by a backend — the unit the auto-selector
+/// stitches mixed-method containers out of (see core/selector.hpp).
+struct LevelPayload {
+  std::vector<std::uint8_t> bytes;
+  LevelReport report;
+};
+
 class CompressorBackend {
  public:
   virtual ~CompressorBackend() = default;
@@ -68,6 +75,29 @@ class CompressorBackend {
   [[nodiscard]] virtual amr::AmrLevel decompress_level(
       std::span<const std::uint8_t> container, const CommonHeader& header,
       std::size_t level) const;
+
+  /// True when this backend can encode and decode a single level as a
+  /// standalone payload (the `auto` pseudo-backend only considers such
+  /// backends as candidates). Backends whose single payload interleaves
+  /// all levels (zMesh, 3D) return the default false.
+  [[nodiscard]] virtual bool supports_level_payloads() const { return false; }
+
+  /// Encodes one level as a standalone payload: exactly the bytes this
+  /// backend would write between begin_payload()/end_payload() for `lv`
+  /// when it is level `level` of a dataset compressed under `cfg` — so a
+  /// container stitched from such payloads (selector byte = this backend's
+  /// tag) decodes through decompress_level_payload(). Only called when
+  /// supports_level_payloads() is true; the default throws.
+  [[nodiscard]] virtual LevelPayload compress_level_payload(
+      const amr::AmrLevel& lv, std::size_t level, const TacConfig& cfg) const;
+
+  /// Decodes one payload produced by compress_level_payload() into the
+  /// skeleton level `lv` (mask set, data zeroed). `r` spans exactly the
+  /// payload bytes; `profile` is the codec profile recorded in its index
+  /// entry. Only called when supports_level_payloads() is true; the
+  /// default throws.
+  virtual void decompress_level_payload(ByteReader& r, amr::AmrLevel& lv,
+                                        lossless::CodecProfile profile) const;
 };
 
 /// Registers a backend under its Method tag. Throws std::invalid_argument
@@ -91,6 +121,7 @@ namespace detail {
 [[nodiscard]] std::unique_ptr<CompressorBackend> make_oned_backend();
 [[nodiscard]] std::unique_ptr<CompressorBackend> make_zmesh_backend();
 [[nodiscard]] std::unique_ptr<CompressorBackend> make_upsample3d_backend();
+[[nodiscard]] std::unique_ptr<CompressorBackend> make_auto_backend();
 }  // namespace detail
 
 }  // namespace tac::core

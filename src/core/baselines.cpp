@@ -72,47 +72,19 @@ class OneDBackend final : public CompressorBackend {
 
     // Per-level 1D streams are independent — run them through the same
     // level pipeline as TAC and serialize in level order.
-    struct LevelOutput {
-      std::vector<std::uint8_t> stream;
-      LevelReport report;
-    };
-    std::vector<LevelOutput> levels(ds.num_levels());
+    std::vector<LevelPayload> levels(ds.num_levels());
     parallel_for(
         0, ds.num_levels(),
-        [&](std::size_t l) {
-          const amr::AmrLevel& lv = ds.level(l);
-          LevelOutput& out = levels[l];
-          out.report.valid_cells = lv.valid_count();
-          const auto [lo, hi] = lv.valid_range();
-          const sz::SzConfig level_cfg =
-              sz::resolve_range_bound(cfg.sz, lo, hi);
-
-          Timer comp;
-          // Arena-backed gather: the 1D stream is built and compressed
-          // before the scope closes, so repeated level encodes reuse the
-          // same scratch blocks.
-          ArenaScope scratch;
-          const auto values = scratch.alloc<double>(lv.valid_count());
-          lv.gather_valid_into(values);
-          if (!values.empty()) {
-            out.stream = sz::compress<double>(
-                values, Dims3{values.size(), 1, 1}, level_cfg);
-            out.report.abs_error_bound =
-                sz::peek(out.stream).abs_error_bound;
-          }
-          out.report.compress_seconds = comp.seconds();
-        },
+        [&](std::size_t l) { levels[l] = encode_level(ds.level(l), cfg); },
         /*grain=*/1);
 
     ByteWriter w;
     PayloadIndexBuilder index = write_common_header(
         w, Method::kOneD, ds, ds.num_levels(), cfg.sz.profile);
     for (auto& lvl : levels) {
-      const std::size_t before = w.size();
       index.begin_payload();
-      w.put_blob(lvl.stream);
+      w.put_bytes(lvl.bytes);
       index.end_payload();
-      lvl.report.compressed_bytes = w.size() - before;
       report.levels.push_back(lvl.report);
     }
     index.finish();
@@ -146,7 +118,55 @@ class OneDBackend final : public CompressorBackend {
     return lv;
   }
 
+  [[nodiscard]] bool supports_level_payloads() const override { return true; }
+
+  [[nodiscard]] LevelPayload compress_level_payload(
+      const amr::AmrLevel& lv, std::size_t /*level*/,
+      const TacConfig& cfg) const override {
+    return encode_level(lv, cfg);
+  }
+
+  void decompress_level_payload(
+      ByteReader& r, amr::AmrLevel& lv,
+      lossless::CodecProfile profile) const override {
+    decode_level(r, lv, profile);
+  }
+
  private:
+  /// Encodes one level standalone: the blob written between
+  /// begin_payload()/end_payload() by compress(), plus diagnostics. The
+  /// 1D bound resolves against this level's own valid range, so the
+  /// encoding never depends on sibling levels.
+  static LevelPayload encode_level(const amr::AmrLevel& lv,
+                                   const TacConfig& cfg) {
+    LevelPayload out;
+    out.report.method = Method::kOneD;
+    out.report.valid_cells = lv.valid_count();
+    const auto [lo, hi] = lv.valid_range();
+    const sz::SzConfig level_cfg = sz::resolve_range_bound(cfg.sz, lo, hi);
+
+    Timer comp;
+    // Arena-backed gather: the 1D stream is built and compressed before
+    // the scope closes, so repeated level encodes reuse the same scratch
+    // blocks.
+    ArenaScope scratch;
+    const auto values = scratch.alloc<double>(lv.valid_count());
+    lv.gather_valid_into(values);
+    ByteWriter w;
+    if (values.empty()) {
+      w.put_blob({});
+    } else {
+      const auto stream = sz::compress<double>(
+          values, Dims3{values.size(), 1, 1}, level_cfg);
+      out.report.abs_error_bound = sz::peek(stream).abs_error_bound;
+      w.put_blob(stream);
+    }
+    out.report.compress_seconds = comp.seconds();
+    out.bytes = w.take();
+    out.report.compressed_bytes = out.bytes.size();
+    return out;
+  }
+
   static void decode_level(ByteReader& r, amr::AmrLevel& lv,
                            std::optional<lossless::CodecProfile> expected) {
     const auto stream = r.get_blob();

@@ -62,6 +62,7 @@ const char* to_string(Method m) {
     case Method::kOneD: return "1D";
     case Method::kZMesh: return "zMesh";
     case Method::kUpsample3D: return "3D";
+    case Method::kAuto: return "auto";
   }
   return "?";
 }
@@ -90,7 +91,9 @@ void PayloadIndexBuilder::begin_payload() {
   open_begin_ = w_->size();
 }
 
-void PayloadIndexBuilder::end_payload() {
+void PayloadIndexBuilder::end_payload() { end_payload(method_); }
+
+void PayloadIndexBuilder::end_payload(Method chosen) {
   if (open_begin_ == kNone)
     throw std::logic_error(
         "PayloadIndexBuilder: end_payload without begin_payload");
@@ -101,7 +104,8 @@ void PayloadIndexBuilder::end_payload() {
   e.length = end - open_begin_;
   e.crc32 = crc32(written.subspan(open_begin_, end - open_begin_));
   e.profile = static_cast<std::uint8_t>(profile_);
-  patch_payload_entry_v3(*w_, entries_pos_ + sealed_ * kPayloadEntryV3Bytes,
+  e.selector = static_cast<std::uint8_t>(chosen);
+  patch_payload_entry_v4(*w_, entries_pos_ + sealed_ * kPayloadEntryV4Bytes,
                          e);
   ++sealed_;
   open_begin_ = kNone;
@@ -136,8 +140,8 @@ PayloadIndexBuilder write_common_header(ByteWriter& w, Method method,
   }
   w.put_varint(n_payloads);
   const std::size_t entries_pos =
-      w.reserve(n_payloads * kPayloadEntryV3Bytes);
-  return PayloadIndexBuilder(w, entries_pos, n_payloads, profile);
+      w.reserve(n_payloads * kPayloadEntryV4Bytes);
+  return PayloadIndexBuilder(w, entries_pos, n_payloads, profile, method);
 }
 
 CommonHeader read_common_header(ByteReader& r) {
@@ -164,8 +168,9 @@ CommonHeader read_common_header(ByteReader& r) {
   h.skeleton = amr::AmrDataset(field, std::move(levels), ratio);
   h.index_offset = r.position();
   if (h.version >= 2) {
-    const std::size_t entry_bytes =
-        h.version >= 3 ? kPayloadEntryV3Bytes : kPayloadEntryBytes;
+    const std::size_t entry_bytes = h.version >= 4   ? kPayloadEntryV4Bytes
+                                    : h.version >= 3 ? kPayloadEntryV3Bytes
+                                                     : kPayloadEntryBytes;
     const std::size_t n = static_cast<std::size_t>(r.get_varint());
     if (n > r.remaining() / entry_bytes)
       throw std::runtime_error(
@@ -174,14 +179,21 @@ CommonHeader read_common_header(ByteReader& r) {
           " bytes remain");
     h.index.entries.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      const PayloadEntry e = h.version >= 3 ? read_payload_entry_v3(r)
-                                            : read_payload_entry(r);
+      const PayloadEntry e = h.version >= 4   ? read_payload_entry_v4(r)
+                             : h.version >= 3 ? read_payload_entry_v3(r)
+                                              : read_payload_entry(r);
       if (h.version >= 3 &&
           e.profile > static_cast<std::uint8_t>(lossless::CodecProfile::kFast))
         throw lossless::ProfileError(
             "container: payload " + std::to_string(i) +
             " declares unknown codec profile byte " +
             std::to_string(e.profile));
+      if (h.version >= 4 && e.selector != kSelectorFixed &&
+          find_backend(static_cast<Method>(e.selector)) == nullptr)
+        throw SelectorError(
+            "container: payload " + std::to_string(i) +
+            " declares unknown selector byte " + std::to_string(e.selector) +
+            " (no registered compressor backend)");
       h.index.entries.push_back(e);
     }
   }
@@ -194,6 +206,15 @@ std::optional<lossless::CodecProfile> payload_profile(
   if (header.version < 3 || i >= header.index.entries.size())
     return std::nullopt;
   return static_cast<lossless::CodecProfile>(header.index.entries[i].profile);
+}
+
+std::optional<Method> payload_method(const CommonHeader& header,
+                                     std::size_t i) {
+  if (header.version < 4 || i >= header.index.entries.size())
+    return std::nullopt;
+  const std::uint8_t selector = header.index.entries[i].selector;
+  if (selector == kSelectorFixed) return std::nullopt;
+  return static_cast<Method>(selector);
 }
 
 Method peek_method(std::span<const std::uint8_t> bytes) {

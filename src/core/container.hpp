@@ -27,6 +27,15 @@
 /// decode paths on it and reject streams whose method bytes contradict
 /// the declared profile. v1/v2 containers carry no profile and decode
 /// leniently.
+///
+/// Format v4 widens each index entry by a selector byte: the Method tag
+/// of the backend that produced that payload. Fixed backends stamp their
+/// own tag; the `auto` pseudo-backend (core/selector.hpp) records the
+/// per-level winner its trial selection picked, and its decoder
+/// dispatches each payload to the recorded backend. v1-v3 containers
+/// carry no selector and decode leniently as "fixed method" (the header
+/// method tag owns every payload). The byte-level layout of every
+/// version is specified normatively in docs/FORMAT.md.
 
 #include <cstdint>
 #include <optional>
@@ -46,6 +55,9 @@ enum class Method : std::uint8_t {
   kOneD = 1,        ///< naive 1D baseline: each level as a 1D stream
   kZMesh = 2,       ///< zMesh reordering baseline: interleaved 1D stream
   kUpsample3D = 3,  ///< 3D baseline: up-sample to uniform, one 3D stream
+  kAuto = 4,        ///< adaptive selector: per-level winner among the
+                    ///< level-capable backends (core/selector.hpp); each
+                    ///< payload's backend is recorded in the v4 index
 };
 
 enum class Strategy : std::uint8_t {
@@ -62,7 +74,7 @@ enum class Strategy : std::uint8_t {
 /// On-disk container format version. Bumped whenever the serialized layout
 /// changes; readers accept [kMinFormatVersion, kFormatVersion] and reject
 /// anything newer with a descriptive error instead of misparsing it.
-inline constexpr std::uint8_t kFormatVersion = 3;
+inline constexpr std::uint8_t kFormatVersion = 4;
 inline constexpr std::uint8_t kMinFormatVersion = 1;
 
 /// A stored payload checksum failed — the container bytes were damaged
@@ -72,6 +84,20 @@ class ChecksumError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A v4 selector byte names a method no backend is registered for —
+/// either the container was written by a newer method set or the byte
+/// was damaged (the index is not CRC-covered).
+class SelectorError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Selector byte meaning "no per-payload method recorded": the payload
+/// belongs to the backend named by the header's method tag. Reserved so
+/// hand-written v4 indexes can stay method-agnostic; every library
+/// writer stamps a concrete tag.
+inline constexpr std::uint8_t kSelectorFixed = 0xFF;
+
 /// One entry of the v2 payload index. Offsets are absolute from the first
 /// container byte, so an entry can be read (and its payload fetched)
 /// without parsing anything that precedes it.
@@ -79,8 +105,10 @@ struct PayloadEntry {
   std::uint64_t offset = 0;
   std::uint64_t length = 0;
   std::uint32_t crc32 = 0;
-  std::uint8_t profile = 0;  ///< lossless::CodecProfile value; only
-                             ///< meaningful for v3+ container entries
+  std::uint8_t profile = 0;   ///< lossless::CodecProfile value; only
+                              ///< meaningful for v3+ container entries
+  std::uint8_t selector = kSelectorFixed;  ///< Method tag of the backend
+                                           ///< owning this payload (v4+)
 };
 
 /// Serialized size of one v2 index entry (offset u64 + length u64 + crc
@@ -90,6 +118,9 @@ inline constexpr std::size_t kPayloadEntryBytes = 20;
 
 /// v3 container entries append the codec-profile byte.
 inline constexpr std::size_t kPayloadEntryV3Bytes = kPayloadEntryBytes + 1;
+
+/// v4 container entries append the selector (per-payload method) byte.
+inline constexpr std::size_t kPayloadEntryV4Bytes = kPayloadEntryV3Bytes + 1;
 
 /// The single source of truth for the on-disk entry layout — every
 /// writer back-patches and every reader parses through these helpers.
@@ -106,6 +137,12 @@ inline void patch_payload_entry_v3(ByteWriter& w, std::size_t pos,
   w.patch<std::uint8_t>(pos + kPayloadEntryBytes, e.profile);
 }
 
+inline void patch_payload_entry_v4(ByteWriter& w, std::size_t pos,
+                                   const PayloadEntry& e) {
+  patch_payload_entry_v3(w, pos, e);
+  w.patch<std::uint8_t>(pos + kPayloadEntryV3Bytes, e.selector);
+}
+
 [[nodiscard]] inline PayloadEntry read_payload_entry(ByteReader& r) {
   PayloadEntry e;
   e.offset = r.get<std::uint64_t>();
@@ -117,6 +154,12 @@ inline void patch_payload_entry_v3(ByteWriter& w, std::size_t pos,
 [[nodiscard]] inline PayloadEntry read_payload_entry_v3(ByteReader& r) {
   PayloadEntry e = read_payload_entry(r);
   e.profile = r.get<std::uint8_t>();
+  return e;
+}
+
+[[nodiscard]] inline PayloadEntry read_payload_entry_v4(ByteReader& r) {
+  PayloadEntry e = read_payload_entry_v3(r);
+  e.selector = r.get<std::uint8_t>();
   return e;
 }
 
@@ -142,8 +185,13 @@ class PayloadIndexBuilder {
   void begin_payload();
 
   /// Seals the payload opened by the last begin_payload(): patches its
-  /// index entry with {offset, length, crc32 of the written bytes}.
+  /// index entry with {offset, length, crc32 of the written bytes} and
+  /// stamps the selector byte with the container's own method tag.
   void end_payload();
+
+  /// Like end_payload(), but records `chosen` as the payload's selector
+  /// byte — the auto pseudo-backend's per-level winner.
+  void end_payload(Method chosen);
 
   /// Verifies every reserved entry was sealed; throws std::logic_error
   /// otherwise. Called by backends after their last payload as a cheap
@@ -157,11 +205,13 @@ class PayloadIndexBuilder {
                                                  lossless::CodecProfile
                                                      profile);
   PayloadIndexBuilder(ByteWriter& w, std::size_t entries_pos,
-                      std::size_t count, lossless::CodecProfile profile)
+                      std::size_t count, lossless::CodecProfile profile,
+                      Method method)
       : w_(&w),
         entries_pos_(entries_pos),
         count_(count),
-        profile_(profile) {}
+        profile_(profile),
+        method_(method) {}
 
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
@@ -171,12 +221,15 @@ class PayloadIndexBuilder {
   std::size_t sealed_ = 0;
   std::size_t open_begin_ = kNone;
   lossless::CodecProfile profile_ = lossless::CodecProfile::kLegacy;
+  Method method_ = Method::kTac;  ///< default selector stamp
 };
 
-/// Writes the v3 outer header — method, field, ratio, level masks — and
+/// Writes the v4 outer header — method, field, ratio, level masks — and
 /// reserves a payload index with `n_payloads` entries, each stamped with
 /// `profile` (the lossless encoder family the backend will use for this
-/// container's streams, including the mask blobs written here). The
+/// container's streams, including the mask blobs written here) and, at
+/// end_payload time, a selector byte (the container method unless the
+/// `end_payload(Method)` overload names a per-payload winner). The
 /// returned builder must seal exactly `n_payloads` payloads appended
 /// directly after the header.
 [[nodiscard]] PayloadIndexBuilder write_common_header(
@@ -203,6 +256,13 @@ struct CommonHeader {
 /// leniently via the method byte of each stream.
 [[nodiscard]] std::optional<lossless::CodecProfile> payload_profile(
     const CommonHeader& header, std::size_t i);
+
+/// The backend method recorded for payload `i`, or nullopt when the
+/// container predates per-payload selectors (v1-v3) or the entry carries
+/// the reserved kSelectorFixed byte — either way the payload belongs to
+/// the header's method tag ("fixed method" lenient decode).
+[[nodiscard]] std::optional<Method> payload_method(const CommonHeader& header,
+                                                   std::size_t i);
 
 /// Reads only the method tag (cheap sniffing). Throws on bad magic, but
 /// also on an unsupported version or unregistered tag — use is_container

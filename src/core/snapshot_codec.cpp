@@ -7,6 +7,7 @@
 #include "common/crc32.hpp"
 #include "common/parallel.hpp"
 #include "core/adaptive.hpp"
+#include "core/backend.hpp"
 #include "core/container.hpp"
 #include "core/tac.hpp"
 
@@ -97,8 +98,13 @@ void verify_field(const ParsedSnapshot& s, std::size_t i) {
 
 }  // namespace
 
-std::vector<std::uint8_t> compress_snapshot(const amr::Snapshot& s,
-                                            const TacConfig& cfg) {
+namespace {
+
+/// Shared writer for both compress_snapshot overloads: `encode_field`
+/// maps one field dataset to its container bytes.
+template <class EncodeField>
+std::vector<std::uint8_t> write_snapshot(const amr::Snapshot& s,
+                                         EncodeField&& encode_field) {
   if (s.fields.empty())
     throw std::invalid_argument("compress_snapshot: no fields");
   // Fields are independent containers: compress them concurrently and
@@ -106,9 +112,7 @@ std::vector<std::uint8_t> compress_snapshot(const amr::Snapshot& s,
   std::vector<std::vector<std::uint8_t>> blobs(s.fields.size());
   parallel_for(
       0, s.fields.size(),
-      [&](std::size_t i) {
-        blobs[i] = adaptive_compress(s.fields[i], cfg).bytes;
-      },
+      [&](std::size_t i) { blobs[i] = encode_field(s.fields[i]); },
       /*grain=*/1);
   ByteWriter w;
   w.put<std::uint32_t>(kMagic);
@@ -129,6 +133,24 @@ std::vector<std::uint8_t> compress_snapshot(const amr::Snapshot& s,
     patch_payload_entry(w, entry_pos[i], e);
   }
   return w.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress_snapshot(const amr::Snapshot& s,
+                                            const TacConfig& cfg) {
+  return write_snapshot(s, [&](const amr::AmrDataset& field) {
+    return adaptive_compress(field, cfg).bytes;
+  });
+}
+
+std::vector<std::uint8_t> compress_snapshot(const amr::Snapshot& s,
+                                            const TacConfig& cfg,
+                                            Method method) {
+  const CompressorBackend& backend = backend_for(method);
+  return write_snapshot(s, [&](const amr::AmrDataset& field) {
+    return backend.compress(field, cfg).bytes;
+  });
 }
 
 amr::Snapshot decompress_snapshot(std::span<const std::uint8_t> bytes) {

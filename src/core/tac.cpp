@@ -133,20 +133,17 @@ void decode_tac_level(ByteReader& r, amr::AmrLevel& lv,
   apply_mask(lv);
 }
 
-/// One level's finished output: its container chunk plus diagnostics.
-/// Levels are independent, so the pipeline produces these concurrently and
-/// concatenates the chunks in level order — byte-identical to a serial
-/// run at any thread count.
-struct LevelOutput {
-  std::vector<std::uint8_t> bytes;
-  LevelReport report;
-};
-
-LevelOutput compress_level(const amr::AmrDataset& ds, std::size_t level,
-                           const TacConfig& cfg) {
-  const amr::AmrLevel& lv = ds.level(level);
-  LevelOutput out;
+/// Encodes one level standalone (strategy tag, block size, streams) —
+/// the container chunk plus diagnostics. Levels are independent, so the
+/// pipeline produces these concurrently and concatenates the chunks in
+/// level order — byte-identical to a serial run at any thread count.
+/// Taking the level (not the dataset) lets the auto-selector trial-encode
+/// sampled stand-in levels through the same code path.
+LevelPayload compress_level(const amr::AmrLevel& lv, std::size_t level,
+                            const TacConfig& cfg) {
+  LevelPayload out;
   LevelReport& lr = out.report;
+  lr.method = Method::kTac;
   lr.valid_cells = lv.valid_count();
 
   Timer pre;
@@ -252,10 +249,10 @@ class TacBackend final : public CompressorBackend {
     // Level pipeline: levels are compressed concurrently into private
     // chunks and merged in level order, so the container and the report
     // are stable regardless of the worker count.
-    std::vector<LevelOutput> levels(ds.num_levels());
+    std::vector<LevelPayload> levels(ds.num_levels());
     parallel_for(
         0, ds.num_levels(),
-        [&](std::size_t l) { levels[l] = compress_level(ds, l, cfg); },
+        [&](std::size_t l) { levels[l] = compress_level(ds.level(l), l, cfg); },
         /*grain=*/1);
 
     ByteWriter w;
@@ -296,6 +293,20 @@ class TacBackend final : public CompressorBackend {
     amr::AmrLevel lv = header.skeleton.level(level);
     decode_tac_level(*r, lv, payload_profile(header, level));
     return lv;
+  }
+
+  [[nodiscard]] bool supports_level_payloads() const override { return true; }
+
+  [[nodiscard]] LevelPayload compress_level_payload(
+      const amr::AmrLevel& lv, std::size_t level,
+      const TacConfig& cfg) const override {
+    return compress_level(lv, level, cfg);
+  }
+
+  void decompress_level_payload(
+      ByteReader& r, amr::AmrLevel& lv,
+      lossless::CodecProfile profile) const override {
+    decode_tac_level(r, lv, profile);
   }
 };
 

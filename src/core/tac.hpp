@@ -21,6 +21,43 @@
 
 namespace tac::core {
 
+/// What the auto-selector optimizes when ranking candidate backends.
+enum class SelectorObjective : std::uint8_t {
+  /// Minimize trial compressed bytes — fully deterministic (trial sizes
+  /// are byte-stable across thread counts and SIMD tiers), the default.
+  kRatio = 0,
+  /// Minimize trial encode wall time. Machine- and load-dependent: the
+  /// per-level choices (and therefore the container bytes) may differ
+  /// between runs.
+  kThroughput = 1,
+  /// Blend of both, each normalized by the best candidate's value;
+  /// `SelectorConfig::balance` weights the ratio term. Inherits the
+  /// throughput term's nondeterminism.
+  kBalanced = 2,
+};
+
+/// Knobs of the per-level adaptive backend selector (core/selector.hpp),
+/// consumed by the `auto` pseudo-backend.
+struct SelectorConfig {
+  /// Fraction of a level's occupied unit blocks trial-compressed per
+  /// candidate. The default keeps total selection overhead under ~10% of
+  /// compression time with the two built-in level-capable candidates.
+  double sample_fraction = 0.025;
+  /// Trial at least this many blocks (clamped to the occupied count) so
+  /// tiny levels still get a meaningful sample.
+  std::size_t min_sample_blocks = 4;
+  /// Seed of the deterministic block-sampling sequence. Same input +
+  /// same seed -> same samples -> same per-level choices (kRatio).
+  std::uint64_t seed = 0;
+  SelectorObjective objective = SelectorObjective::kRatio;
+  /// kBalanced only: weight of the ratio term in [0, 1].
+  double balance = 0.5;
+  /// Restrict the candidate set (empty = every registered backend that
+  /// supports per-level payloads). Methods without level support are
+  /// ignored; an empty effective set is an error.
+  std::vector<Method> candidates;
+};
+
 struct TacConfig {
   /// Error bound applied to every level unless level_error_bounds is set.
   /// Relative bounds resolve against each level's valid-value range.
@@ -36,11 +73,14 @@ struct TacConfig {
   double t2 = 0.60;
   /// Overrides the density filter for every level (strategy experiments).
   std::optional<Strategy> force_strategy;
+  /// Auto-selector knobs; only read when compressing with Method::kAuto.
+  SelectorConfig selector;
 };
 
 /// Per-level compression diagnostics.
 struct LevelReport {
   Strategy strategy = Strategy::kOpST;
+  Method method = Method::kTac;  ///< backend that encoded this level
   double block_density = 0;      ///< non-empty unit-block fraction
   double abs_error_bound = 0;    ///< bound actually applied
   std::size_t valid_cells = 0;
@@ -49,6 +89,7 @@ struct LevelReport {
   std::size_t n_groups = 0;      ///< batched streams (1 for GSP/ZF)
   double preprocess_seconds = 0;
   double compress_seconds = 0;
+  double selection_seconds = 0;  ///< auto-selector trial time (0 if fixed)
 };
 
 struct CompressReport {

@@ -68,11 +68,11 @@ std::vector<std::uint8_t> compress_with_profile(CodecProfile p,
   return backend_for(Method::kTac).compress(ds, test_config()).bytes;
 }
 
-/// Byte offset of index entry `i`'s codec-profile byte inside a v3
+/// Byte offset of index entry `i`'s codec-profile byte inside a v4
 /// container (varint entry count is one byte for every dataset here).
 std::size_t profile_byte_offset(const CommonHeader& h, std::size_t i) {
   EXPECT_LT(h.index.entries.size(), 128u);
-  return h.index_offset + 1 + i * kPayloadEntryV3Bytes + kPayloadEntryBytes;
+  return h.index_offset + 1 + i * kPayloadEntryV4Bytes + kPayloadEntryBytes;
 }
 
 /// A corpus that exercises every encoder regime: long runs (deep hash
@@ -213,9 +213,10 @@ TEST(CodecProfile, ContainerIndexRecordsTheWritingProfile) {
         << "level " << l;
 }
 
-/// Rebuilds the v2 serialization of a v3 container: identical except for
-/// the version byte and the one-byte-narrower index entries (so every
-/// payload shifts back by the entry count).
+/// Rebuilds the v2 serialization of a v4 container: identical except for
+/// the version byte and the two-bytes-narrower index entries — no profile
+/// or selector byte — so every payload shifts back by twice the entry
+/// count.
 std::vector<std::uint8_t> downgrade_to_v2(const std::vector<std::uint8_t>& v3) {
   const CommonHeader h = header_of(v3);
   const std::uint64_t n = h.index.entries.size();
@@ -225,7 +226,7 @@ std::vector<std::uint8_t> downgrade_to_v2(const std::vector<std::uint8_t>& v3) {
   v2[4] = 2;  // magic:4 bytes, then the format version byte
   v2.push_back(v3[h.index_offset]);  // entry count
   for (const PayloadEntry& e : h.index.entries) {
-    const std::uint64_t off = e.offset - n;
+    const std::uint64_t off = e.offset - 2 * n;
     const std::uint64_t len = e.length;
     for (int b = 0; b < 8; ++b)
       v2.push_back(static_cast<std::uint8_t>(off >> (8 * b)));
@@ -247,7 +248,7 @@ TEST(CodecProfile, LegacyProfileContainersDecodeIdenticallyAsV2) {
   const auto ds = small_dataset(32, {0.1, 0.3, 0.6});
   const auto v3 = compress_with_profile(CodecProfile::kLegacy, ds);
   const auto v2 = downgrade_to_v2(v3);
-  ASSERT_EQ(v2.size(), v3.size() - header_of(v3).index.entries.size());
+  ASSERT_EQ(v2.size(), v3.size() - 2 * header_of(v3).index.entries.size());
 
   const CommonHeader h2 = header_of(v2);
   EXPECT_EQ(h2.version, 2);
