@@ -13,7 +13,9 @@
 ///   - huffman_decode must beat the bit-at-a-time reference by >= 4x,
 ///   - the fast-profile LZSS encoder (lzss2) must beat the legacy
 ///     bit-stream encoder by >= 1.2x on the mixed corpus,
-///   - every vectorized kernel must be no slower than its scalar fallback.
+///   - every vectorized kernel must be no slower than its scalar fallback,
+///   - disabled telemetry (TAC_TRACE off) must cost <= 1% on the
+///     instrumented huffman_decompress wrapper.
 
 #include <cstdio>
 #include <cstring>
@@ -22,8 +24,10 @@
 #include <vector>
 
 #include "common/arena.hpp"
+#include "common/bytes.hpp"
 #include "common/crc32.hpp"
 #include "common/simd.hpp"
+#include "common/telemetry.hpp"
 #include "common/timer.hpp"
 #include "amr/amr_io.hpp"
 #include "lossless/huffman.hpp"
@@ -250,6 +254,50 @@ KernelResult bench_lzss_decompress() {
   return r;
 }
 
+/// Disabled-telemetry overhead on a real wrapper. A runs the instrumented
+/// huffman_decompress entry point with telemetry off (its span and
+/// counter reduce to one relaxed atomic load and a predicted branch per
+/// call); B performs the identical parse + table build + decode by hand
+/// with no instrumentation in the path. Many calls on a small blob keep
+/// the per-call overhead measurable. The CI floor asserts the off mode
+/// costs <= 1% — i.e. a "zero cost when off" regression (say, a lock or
+/// clock read sneaking into the disabled check) fails the run.
+KernelResult bench_telemetry_off_overhead() {
+  constexpr std::size_t kSyms = 1u << 15;
+  constexpr int kIters = 64;
+  std::mt19937 rng(29);
+  std::vector<double> weights(512);
+  double w = 1.0;
+  for (auto& x : weights) {
+    x = w;
+    w *= 0.98;
+  }
+  std::discrete_distribution<int> skew(weights.begin(), weights.end());
+  std::vector<std::uint32_t> syms(kSyms);
+  for (auto& v : syms) v = 32000 + static_cast<std::uint32_t>(skew(rng));
+  telemetry::set_mode(telemetry::Mode::kOff);
+  const auto blob = lossless::huffman_compress(syms);
+  auto r = ab(
+      "telemetry_off", kSyms * sizeof(std::uint32_t) * kIters,
+      [&] {
+        for (int i = 0; i < kIters; ++i) {
+          const auto out = lossless::huffman_decompress(blob);
+          g_sink = g_sink + out.size();
+        }
+      },
+      [&] {
+        for (int i = 0; i < kIters; ++i) {
+          ByteReader br(blob);
+          const auto count = static_cast<std::size_t>(br.get_varint());
+          const auto table = lossless::huffman_table_deserialize(br.get_blob());
+          const auto out = lossless::huffman_decode(table, br.get_blob(), count);
+          g_sink = g_sink + out.size();
+        }
+      });
+  r.baseline = "uninstrumented";
+  return r;
+}
+
 KernelResult bench_arena_vs_heap() {
   constexpr std::size_t kChunk = 1u << 16;  // 64K doubles per scratch buffer
   constexpr int kIters = 2048;
@@ -313,6 +361,7 @@ int main() {
   results.push_back(bench_lzss_decompress());
   results.push_back(bench_mask_roundtrip());
   results.push_back(bench_arena_vs_heap());
+  results.push_back(bench_telemetry_off_overhead());
 
   bool ok = true;
   for (const auto& r : results) {
@@ -326,6 +375,12 @@ int main() {
     if (r.name == "lzss_compress" && r.speedup() < 1.2) {
       std::printf("FAIL: lzss_compress speedup %.2fx < 1.2x target\n",
                   r.speedup());
+      ok = false;
+    }
+    if (r.name == "telemetry_off" && r.speedup() < 0.99) {
+      std::printf("FAIL: disabled telemetry costs %.1f%% on huffman "
+                  "decode (budget: <= 1%%)\n",
+                  100.0 * (1.0 / r.speedup() - 1.0));
       ok = false;
     }
   }

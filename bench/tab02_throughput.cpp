@@ -15,10 +15,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/telemetry.hpp"
 #include "core/backend.hpp"
 
 namespace {
@@ -33,6 +35,7 @@ struct Measurement {
   double compress_seconds = 0;   ///< compress wall time alone
   double selection_seconds = 0;  ///< auto only: summed trial time
   std::string winners;           ///< auto only: per-level picks, finest first
+  std::vector<telemetry::StageStat> stages;  ///< per-stage time/byte totals
 };
 
 Measurement measure(const amr::AmrDataset& ds, core::Method method,
@@ -40,6 +43,11 @@ Measurement measure(const amr::AmrDataset& ds, core::Method method,
   core::TacConfig tcfg;
   tcfg.sz = {.mode = sz::ErrorBoundMode::kAbsolute, .error_bound = abs_eb};
 
+  // The run executes under telemetry counters mode (set in main): stage
+  // spans aggregate into per-name totals with no per-event memory, so the
+  // JSON can carry a per-method stage breakdown. Reset per measurement so
+  // each row's stages cover exactly its own compress + decompress.
+  telemetry::reset_stages();
   Timer t;
   const core::CompressedAmr compressed =
       core::backend_for(method).compress(ds, tcfg);
@@ -47,6 +55,7 @@ Measurement measure(const amr::AmrDataset& ds, core::Method method,
   const double secs = t.seconds();
 
   Measurement m;
+  m.stages = telemetry::collect_stages();
   m.throughput_mbs = throughput_mbs(ds.original_bytes(), secs);
   m.seconds = secs;
   m.compressed_bytes = compressed.bytes.size();
@@ -71,8 +80,26 @@ struct JsonRow {
   Measurement m;
 };
 
-bool write_json(const std::vector<JsonRow>& rows, double aggregate_overhead,
-                double aggregate_seconds, const char* path) {
+/// Stage totals per method, merged over every (dataset, eb) row. Keyed by
+/// stage name; deterministic iteration keeps the JSON diffable.
+using StageAggregate =
+    std::map<std::string, std::map<std::string, telemetry::StageStat>>;
+
+void merge_stages(StageAggregate& agg, const char* method,
+                  const std::vector<telemetry::StageStat>& stages) {
+  auto& per_method = agg[method];
+  for (const auto& s : stages) {
+    auto& dst = per_method[s.name];
+    dst.name = s.name;
+    dst.count += s.count;
+    dst.ns += s.ns;
+    dst.bytes += s.bytes;
+  }
+}
+
+bool write_json(const std::vector<JsonRow>& rows, const StageAggregate& stages,
+                double aggregate_overhead, double aggregate_seconds,
+                const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -100,7 +127,26 @@ bool write_json(const std::vector<JsonRow>& rows, double aggregate_overhead,
                    row.m.winners.c_str(), row.m.selection_seconds);
     std::fprintf(f, "}%s\n", i + 1 == rows.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
+  // Per-method stage breakdown (telemetry counters mode), a separate
+  // top-level key so row-matching consumers (compare_bench.py) are
+  // unaffected by stage additions and renames.
+  std::fprintf(f, "  ],\n  \"stages\": {\n");
+  std::size_t mi = 0;
+  for (const auto& [method, per_stage] : stages) {
+    std::fprintf(f, "    \"%s\": {\n", method.c_str());
+    std::size_t si = 0;
+    for (const auto& [name, s] : per_stage) {
+      std::fprintf(f,
+                   "      \"%s\": {\"calls\": %llu, \"seconds\": %.6f, "
+                   "\"bytes\": %llu}%s\n",
+                   name.c_str(), static_cast<unsigned long long>(s.count),
+                   static_cast<double>(s.ns) * 1e-9,
+                   static_cast<unsigned long long>(s.bytes),
+                   ++si == per_stage.size() ? "" : ",");
+    }
+    std::fprintf(f, "    }%s\n", ++mi == stages.size() ? "" : ",");
+  }
+  std::fprintf(f, "  }\n}\n");
   return std::fclose(f) == 0;
 }
 
@@ -119,8 +165,14 @@ int main() {
   std::vector<simnyx::DatasetPreset> presets(run1.begin(), run1.begin() + 4);
   presets.insert(presets.end(), run2.begin() + 4, run2.end());
 
+  // Counters mode for the whole run: per-stage totals with no per-event
+  // memory. The spans the pipeline crosses are coarse (per level / per
+  // stream), so the mode's clock reads are noise next to the work timed.
+  telemetry::set_mode(telemetry::Mode::kCounters);
+
   const double ebs[] = {1e8, 1e9, 1e10};
   std::vector<JsonRow> rows;
+  StageAggregate stage_agg;
   double max_overhead = 0;
   double total_seconds = 0;
   std::size_t total_index = 0, total_compressed = 0;
@@ -147,6 +199,10 @@ int main() {
       rows.push_back({preset.name, eb, "3D", m3d});
       rows.push_back({preset.name, eb, "TAC", mtac});
       rows.push_back({preset.name, eb, "auto", mauto});
+      merge_stages(stage_agg, "1D", m1d.stages);
+      merge_stages(stage_agg, "3D", m3d.stages);
+      merge_stages(stage_agg, "TAC", mtac.stages);
+      merge_stages(stage_agg, "auto", mauto.stages);
       total_1d += m1d.compressed_bytes;
       total_3d += m3d.compressed_bytes;
       total_tac += mtac.compressed_bytes;
@@ -168,8 +224,8 @@ int main() {
   // the fixed 20-byte entries dominate) without mattering in practice.
   const double aggregate = static_cast<double>(total_index) /
                            static_cast<double>(total_compressed);
-  const bool json_ok =
-      write_json(rows, aggregate, total_seconds, "BENCH_tab02.json");
+  const bool json_ok = write_json(rows, stage_agg, aggregate, total_seconds,
+                                  "BENCH_tab02.json");
   std::printf("\n%s BENCH_tab02.json (%zu rows)\n",
               json_ok ? "wrote" : "FAILED to write", rows.size());
   std::printf("aggregate measured compress+decompress: %.2f s\n",

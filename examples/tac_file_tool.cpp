@@ -8,6 +8,7 @@
 ///   tac_file_tool decompress <in.tac> <out.amr>
 ///   tac_file_tool extract <in.tac> <out.amr> --level=k [--field=f]
 ///   tac_file_tool info <file> [--timing]      inspect any format
+///   tac_file_tool stats <file>                decode + telemetry report
 ///
 /// method: tac (default, adaptive), 1d, zmesh, 3d, auto (per-level
 /// trial selection over the backend registry; --objective picks what the
@@ -17,6 +18,11 @@
 /// only level k's payload (TAC/1D containers), and --field=f picks one
 /// field out of a compressed snapshot without touching the others. `info`
 /// prints the payload index and verifies every checksum.
+///
+/// Any command also takes the global flag `--trace=<out.json>`: the run
+/// executes under telemetry spans mode (see docs/TELEMETRY.md) and a
+/// Chrome-tracing/Perfetto JSON trace is written on exit, rooted at a
+/// `cli.<command>` span.
 ///
 /// Exit codes: 0 success, 1 unexpected error, 2 usage error, 3 file I/O
 /// error, 4 corrupt/undecodable container.
@@ -28,12 +34,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "amr/amr_io.hpp"
 #include "amr/snapshot.hpp"
 #include "analysis/metrics.hpp"
+#include "common/telemetry.hpp"
 #include "common/timer.hpp"
 #include "core/adaptive.hpp"
 #include "core/backend.hpp"
@@ -81,6 +89,7 @@ auto decode_step(F&& f) -> decltype(f()) {
 constexpr std::size_t kIoChunk = std::size_t{1} << 20;  // 1 MiB
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
+  TAC_SPAN_NAMED(span, "cli.load");
   std::ifstream f(path, std::ios::binary);
   if (!f) throw IoError("cannot open " + path);
   std::vector<std::uint8_t> bytes;
@@ -90,13 +99,17 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
     f.read(reinterpret_cast<char*>(bytes.data() + old),
            static_cast<std::streamsize>(kIoChunk));
     bytes.resize(old + static_cast<std::size_t>(f.gcount()));
-    if (f.eof()) return bytes;
+    if (f.eof()) {
+      span.set_bytes(bytes.size());
+      return bytes;
+    }
     if (!f) throw IoError("read failed: " + path);
   }
 }
 
 void write_file(const std::string& path,
                 const std::vector<std::uint8_t>& bytes) {
+  TAC_SPAN_BYTES("cli.write", bytes.size());
   std::ofstream f(path, std::ios::binary);
   if (!f) throw IoError("cannot open " + path);
   for (std::size_t pos = 0; pos < bytes.size(); pos += kIoChunk) {
@@ -114,8 +127,14 @@ int cmd_gen(const std::string& out, std::size_t n) {
   gen.finest_dims = {n, n, n};
   gen.level_densities = {0.23, 0.77};
   gen.region_size = 8;
-  const auto ds = simnyx::generate_baryon_density(gen);
-  amr::save_dataset(out, ds);
+  const auto ds = [&] {
+    TAC_SPAN("cli.generate");
+    return simnyx::generate_baryon_density(gen);
+  }();
+  {
+    TAC_SPAN("cli.write");
+    amr::save_dataset(out, ds);
+  }
   std::printf("wrote %s: %zu levels, %zu values\n", out.c_str(),
               ds.num_levels(), ds.total_valid());
   return 0;
@@ -124,7 +143,10 @@ int cmd_gen(const std::string& out, std::size_t n) {
 int cmd_compress(const std::string& in, const std::string& out,
                  double rel_eb, const std::string& method,
                  const std::string& objective) {
-  const auto ds = amr::load_dataset(in);
+  const auto ds = [&] {
+    TAC_SPAN("cli.load");
+    return amr::load_dataset(in);
+  }();
   core::TacConfig cfg;
   cfg.sz.mode = sz::ErrorBoundMode::kRelative;
   cfg.sz.error_bound = rel_eb;
@@ -177,7 +199,10 @@ int cmd_compress(const std::string& in, const std::string& out,
 int cmd_decompress(const std::string& in, const std::string& out) {
   const auto bytes = read_file(in);
   const auto ds = decode_step([&] { return core::decompress_any(bytes); });
-  amr::save_dataset(out, ds);
+  {
+    TAC_SPAN("cli.write");
+    amr::save_dataset(out, ds);
+  }
   std::printf("%s -> %s: field '%s', %zu levels\n", in.c_str(), out.c_str(),
               ds.field_name().c_str(), ds.num_levels());
   return 0;
@@ -231,7 +256,10 @@ int cmd_extract(const std::string& in, const std::string& out, long level,
     // Field-only extraction: decode the whole selected container.
     const auto ds =
         decode_step([&] { return core::decompress_any(container); });
-    amr::save_dataset(out, ds);
+    {
+      TAC_SPAN("cli.write");
+      amr::save_dataset(out, ds);
+    }
     std::printf("%s -> %s: field '%s', %zu levels\n", in.c_str(), out.c_str(),
                 ds.field_name().c_str(), ds.num_levels());
     return 0;
@@ -258,7 +286,10 @@ int cmd_extract(const std::string& in, const std::string& out, long level,
   const std::size_t valid = lv.valid_count();
   amr::AmrDataset single(h.skeleton.field_name(), {std::move(lv)},
                          h.skeleton.refinement_ratio());
-  amr::save_dataset(out, single);
+  {
+    TAC_SPAN("cli.write");
+    amr::save_dataset(out, single);
+  }
   std::printf("%s -> %s: field '%s' level %ld of %zu, %zux%zux%zu, "
               "%zu valid cells\n",
               in.c_str(), out.c_str(), single.field_name().c_str(), level,
@@ -269,33 +300,34 @@ int cmd_extract(const std::string& in, const std::string& out, long level,
 /// --timing: decode each payload through the v2 index and report where
 /// decompression time goes. One payload maps to one level for TAC/1D
 /// containers, so this is the per-level random-access cost a reader pays;
-/// single-payload methods (zmesh/3D) time the full decode.
+/// single-payload methods (zmesh/3D) time the full decode. Timing comes
+/// from the telemetry stage spans the library already carries: the
+/// decodes run under spans mode and the merged stage tree is printed, so
+/// the breakdown matches `--trace` / `stats` instead of a parallel set of
+/// ad-hoc timers.
 void print_payload_timing(const std::vector<std::uint8_t>& bytes,
                           const core::CommonHeader& h) {
+  const telemetry::Mode saved = telemetry::set_mode(telemetry::Mode::kSpans);
+  telemetry::reset_spans();
+  telemetry::reset_stages();
   const std::span<const std::uint8_t> container(bytes);
-  if (h.index.entries.size() == h.skeleton.num_levels()) {
-    double total = 0;
-    for (std::size_t l = 0; l < h.skeleton.num_levels(); ++l) {
-      Timer t;
-      const amr::AmrLevel lv = decode_step([&] {
-        return core::backend_for(h.method).decompress_level(container, h, l);
-      });
-      const double secs = t.seconds();
-      total += secs;
-      const std::size_t valid = lv.valid_count();
-      std::printf(
-          "  payload %zu decode: %8.3f ms, %zu cells, %.1f MB/s\n", l,
-          secs * 1e3, valid,
-          throughput_mbs(valid * sizeof(double), secs));
+  {
+    TAC_SPAN_NAMED(root, "info.timing");
+    root.set_bytes(bytes.size());
+    if (h.index.entries.size() == h.skeleton.num_levels()) {
+      for (std::size_t l = 0; l < h.skeleton.num_levels(); ++l) {
+        TAC_SPAN("info.payload_decode");
+        (void)decode_step([&] {
+          return core::backend_for(h.method).decompress_level(container, h, l);
+        });
+      }
+    } else {
+      TAC_SPAN("info.full_decode");
+      (void)decode_step([&] { return core::decompress_any(container); });
     }
-    std::printf("  total per-level decode: %.3f ms\n", total * 1e3);
-    return;
   }
-  Timer t;
-  const auto ds = decode_step([&] { return core::decompress_any(container); });
-  const double secs = t.seconds();
-  std::printf("  full decode (single payload): %8.3f ms, %.1f MB/s\n",
-              secs * 1e3, throughput_mbs(ds.original_bytes(), secs));
+  telemetry::print_stage_tree(std::cout);
+  telemetry::set_mode(saved);
 }
 
 int print_container_info(const std::string& path,
@@ -402,6 +434,41 @@ int cmd_info(const std::string& path, bool timing) {
   return 0;
 }
 
+/// stats: decode the file once with telemetry enabled and print the
+/// per-stage time tree plus the counter registry — the same data the
+/// Chrome-trace exporter emits, rendered for a terminal. Accepts a
+/// compressed container or a compressed snapshot.
+int cmd_stats(const std::string& path) {
+  const auto bytes = read_file(path);
+  if (!core::is_container(bytes) && !core::is_compressed_snapshot(bytes)) {
+    std::fprintf(stderr,
+                 "%s is not a compressed container or snapshot "
+                 "(stats decodes TAC output files)\n",
+                 path.c_str());
+    return kExitUsage;
+  }
+  const telemetry::Mode saved = telemetry::set_mode(telemetry::Mode::kSpans);
+  telemetry::reset_all();
+  std::size_t fields = 1;
+  {
+    TAC_SPAN_NAMED(root, "stats.decode");
+    root.set_bytes(bytes.size());
+    if (core::is_compressed_snapshot(bytes)) {
+      const auto s =
+          decode_step([&] { return core::decompress_snapshot(bytes); });
+      fields = s.fields.size();
+    } else {
+      (void)decode_step([&] { return core::decompress_any(bytes); });
+    }
+  }
+  std::printf("%s: %zu bytes, %zu field%s decoded\n", path.c_str(),
+              bytes.size(), fields, fields == 1 ? "" : "s");
+  telemetry::print_stage_tree(std::cout);
+  telemetry::print_counters(std::cout);
+  telemetry::set_mode(saved);
+  return 0;
+}
+
 int demo() {
   std::printf("no arguments: running the self-contained demo\n");
   if (const int rc = cmd_gen("demo.amr", 64)) return rc;
@@ -430,7 +497,10 @@ int usage(const char* argv0) {
                "[--objective=ratio|throughput|balanced] | "
                "decompress <in> <out> | "
                "extract <in.tac> <out.amr> --level=k [--field=f] | "
-               "info <file> [--timing]\n",
+               "info <file> [--timing] | "
+               "stats <file>\n"
+               "global flags: --trace=<out.json> (Chrome-tracing span "
+               "export; see docs/TELEMETRY.md)\n",
                argv0);
   return kExitUsage;
 }
@@ -463,70 +533,114 @@ bool parse_num(const char* s, double& out) {
   }
 }
 
+/// Command dispatch over the argv left after global flags are stripped.
+/// Factored out of main() so the --trace root span can bracket exactly
+/// one command run.
+int dispatch(int argc, char** argv) {
+  if (argc < 2) return demo();
+  const std::string cmd = argv[1];
+  if (cmd == "gen" && argc >= 3) {
+    std::size_t n = 64;
+    if (argc >= 4 && !parse_num(argv[3], n)) return usage(argv[0]);
+    return cmd_gen(argv[2], n);
+  }
+  if (cmd == "compress" && argc >= 4) {
+    double rel_eb = 1e-4;
+    std::string method = "tac";
+    std::string objective;
+    bool saw_eb = false, saw_method = false;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--method=", 0) == 0) {
+        method = arg.substr(9);
+      } else if (arg.rfind("--objective=", 0) == 0) {
+        objective = arg.substr(12);
+      } else if (!saw_eb && parse_num(argv[i], rel_eb)) {
+        saw_eb = true;  // positional [rel_eb]
+      } else if (!saw_method) {
+        method = arg;  // positional [method]
+        saw_method = true;
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    return cmd_compress(argv[2], argv[3], rel_eb, method, objective);
+  }
+  if (cmd == "decompress" && argc >= 4)
+    return cmd_decompress(argv[2], argv[3]);
+  if (cmd == "extract" && argc >= 4) {
+    long level = -1;
+    std::string field;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--level=", 0) == 0) {
+        std::size_t k = 0;
+        if (!parse_num(arg.c_str() + 8, k)) return usage(argv[0]);
+        level = static_cast<long>(k);
+      } else if (arg.rfind("--field=", 0) == 0) {
+        field = arg.substr(8);
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    if (level < 0 && field.empty()) return usage(argv[0]);
+    return cmd_extract(argv[2], argv[3], level, field);
+  }
+  if (cmd == "info" && argc >= 3) {
+    bool timing = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--timing") == 0)
+        timing = true;
+      else
+        return usage(argv[0]);
+    }
+    return cmd_info(argv[2], timing);
+  }
+  if (cmd == "stats" && argc == 3) return cmd_stats(argv[2]);
+  return usage(argv[0]);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the global --trace flag before command dispatch so every
+  // subcommand accepts it in any position.
+  std::string trace_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0)
+      trace_path = argv[i] + 8;
+    else if (std::strcmp(argv[i], "--trace") == 0)
+      trace_path.clear();  // missing =path: caught below
+    else
+      args.push_back(argv[i]);
+  }
+  if (argc > static_cast<int>(args.size()) && trace_path.empty()) {
+    std::fprintf(stderr, "--trace needs a path: --trace=<out.json>\n");
+    return kExitUsage;
+  }
+  // The root span name must outlive the export below (the ring stores
+  // the pointer), so it lives in main's scope, not the block's.
+  const std::string root_name =
+      std::string("cli.") + (args.size() > 1 ? args[1] : "demo");
   try {
-    if (argc < 2) return demo();
-    const std::string cmd = argv[1];
-    if (cmd == "gen" && argc >= 3) {
-      std::size_t n = 64;
-      if (argc >= 4 && !parse_num(argv[3], n)) return usage(argv[0]);
-      return cmd_gen(argv[2], n);
+    if (!trace_path.empty())
+      tac::telemetry::set_mode(tac::telemetry::Mode::kSpans);
+    int rc;
+    {
+      TAC_SPAN_NAMED(root, root_name.c_str());
+      rc = dispatch(static_cast<int>(args.size()), args.data());
     }
-    if (cmd == "compress" && argc >= 4) {
-      double rel_eb = 1e-4;
-      std::string method = "tac";
-      std::string objective;
-      bool saw_eb = false, saw_method = false;
-      for (int i = 4; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg.rfind("--method=", 0) == 0) {
-          method = arg.substr(9);
-        } else if (arg.rfind("--objective=", 0) == 0) {
-          objective = arg.substr(12);
-        } else if (!saw_eb && parse_num(argv[i], rel_eb)) {
-          saw_eb = true;  // positional [rel_eb]
-        } else if (!saw_method) {
-          method = arg;  // positional [method]
-          saw_method = true;
-        } else {
-          return usage(argv[0]);
-        }
+    if (!trace_path.empty()) {
+      if (!tac::telemetry::write_chrome_trace_file(trace_path)) {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     trace_path.c_str());
+        return kExitIo;
       }
-      return cmd_compress(argv[2], argv[3], rel_eb, method, objective);
+      std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
     }
-    if (cmd == "decompress" && argc >= 4)
-      return cmd_decompress(argv[2], argv[3]);
-    if (cmd == "extract" && argc >= 4) {
-      long level = -1;
-      std::string field;
-      for (int i = 4; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg.rfind("--level=", 0) == 0) {
-          std::size_t k = 0;
-          if (!parse_num(arg.c_str() + 8, k)) return usage(argv[0]);
-          level = static_cast<long>(k);
-        } else if (arg.rfind("--field=", 0) == 0) {
-          field = arg.substr(8);
-        } else {
-          return usage(argv[0]);
-        }
-      }
-      if (level < 0 && field.empty()) return usage(argv[0]);
-      return cmd_extract(argv[2], argv[3], level, field);
-    }
-    if (cmd == "info" && argc >= 3) {
-      bool timing = false;
-      for (int i = 3; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--timing") == 0)
-          timing = true;
-        else
-          return usage(argv[0]);
-      }
-      return cmd_info(argv[2], timing);
-    }
-    return usage(argv[0]);
+    return rc;
   } catch (const IoError& e) {
     std::fprintf(stderr, "I/O error: %s\n", e.what());
     return kExitIo;

@@ -14,6 +14,10 @@ drift) in real projects:
 3. Every intra-repo markdown link in README.md, ROADMAP.md and docs/
    resolves: the target file exists and, when a #fragment is given, the
    target heading exists.
+4. The span/counter catalogue in docs/TELEMETRY.md matches the
+   instrumentation macros actually present in src/ and examples/: every
+   name used in code is documented, and every documented name exists in
+   code (so the catalogue can neither lag nor accumulate ghosts).
 
 Exit 0 when everything holds, 1 with a per-failure report otherwise.
 Stdlib only; run from anywhere (paths resolve relative to the repo
@@ -29,8 +33,10 @@ ROOT = Path(__file__).resolve().parent.parent
 CONTAINER_HPP = ROOT / "src" / "core" / "container.hpp"
 FORMAT_MD = ROOT / "docs" / "FORMAT.md"
 BACKENDS_MD = ROOT / "docs" / "BACKENDS.md"
+TELEMETRY_MD = ROOT / "docs" / "TELEMETRY.md"
 EXAMPLE_CPP = ROOT / "examples" / "custom_backend.cpp"
-LINK_SCAN = ["README.md", "ROADMAP.md", "docs/FORMAT.md", "docs/BACKENDS.md"]
+LINK_SCAN = ["README.md", "ROADMAP.md", "docs/FORMAT.md", "docs/BACKENDS.md",
+             "docs/TELEMETRY.md"]
 
 # The documented constants the header must agree on.
 CHECKED_CONSTANTS = [
@@ -178,14 +184,71 @@ def check_links() -> None:
                          f"(no heading #{fragment} in {path_part or rel})")
 
 
+# ------------------------------------------------------------------ check 4
+# One alternative per instrumentation shape: plain/byte-attributed spans,
+# named span locals, counters, and the registry-internal counter() calls.
+TELEMETRY_MACRO_RE = re.compile(
+    r'TAC_SPAN(?:_BYTES)?\(\s*"([^"]+)"'
+    r'|TAC_SPAN_NAMED\(\s*\w+\s*,\s*"([^"]+)"'
+    r'|TAC_COUNTER_(?:ADD|MAX)\(\s*"([^"]+)"'
+    r'|\bcounter\(\s*"([^"]+)"\s*\)')
+
+
+def telemetry_names_in_code() -> set:
+    names = set()
+    sources = sorted((ROOT / "src").rglob("*.cpp"))
+    sources += sorted((ROOT / "src").rglob("*.hpp"))
+    sources += sorted((ROOT / "examples").glob("*.cpp"))
+    for path in sources:
+        # The subsystem header documents the macros with placeholder
+        # names ("layer.op"); skip it so examples in comments don't count
+        # as instrumentation sites.
+        if path == ROOT / "src" / "common" / "telemetry.hpp":
+            continue
+        for match in TELEMETRY_MACRO_RE.finditer(
+                path.read_text(encoding="utf-8")):
+            names.add(next(g for g in match.groups() if g is not None))
+    return names
+
+
+def telemetry_names_in_doc() -> set:
+    text = TELEMETRY_MD.read_text(encoding="utf-8")
+    m = re.search(r"<!-- telemetry-catalogue -->(.*?)"
+                  r"<!-- telemetry-catalogue-end -->", text, flags=re.DOTALL)
+    if m is None:
+        fail("docs/TELEMETRY.md: catalogue markers "
+             "<!-- telemetry-catalogue --> / "
+             "<!-- telemetry-catalogue-end --> not found")
+        return set()
+    # Backticked dotted names only: `cli.<command>` and prose tokens do
+    # not match, so dynamic span names are documented without being
+    # treated as literals.
+    return set(re.findall(r"`([a-z0-9_]+(?:\.[a-z0-9_]+)+)`", m.group(1)))
+
+
+def check_telemetry_catalogue() -> None:
+    in_code = telemetry_names_in_code()
+    in_doc = telemetry_names_in_doc()
+    if not in_doc:
+        return
+    for name in sorted(in_code - in_doc):
+        fail(f"docs/TELEMETRY.md: catalogue is missing `{name}` "
+             "(used by an instrumentation macro in src/ or examples/)")
+    for name in sorted(in_doc - in_code):
+        fail(f"docs/TELEMETRY.md: catalogue lists `{name}` but no "
+             "instrumentation macro in src/ or examples/ uses it")
+
+
 def main() -> int:
-    for path in (CONTAINER_HPP, FORMAT_MD, BACKENDS_MD, EXAMPLE_CPP):
+    for path in (CONTAINER_HPP, FORMAT_MD, BACKENDS_MD, TELEMETRY_MD,
+                 EXAMPLE_CPP):
         if not path.exists():
             fail(f"missing required file {path.relative_to(ROOT)}")
     if not errors:
         check_constants()
         check_snippet()
         check_links()
+        check_telemetry_catalogue()
     if errors:
         print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
         for e in errors:

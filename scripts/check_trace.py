@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-tracing JSON file produced by `tac_file_tool --trace=`.
+
+Usage:
+  check_trace.py <trace.json>        validate an existing trace file
+  check_trace.py --generate <tool>   drive <tool> (gen + compress under
+                                     --trace=) in a temp dir, then validate
+                                     the trace it wrote
+
+Checks, in order:
+
+1. Top-level schema: `traceEvents` is a non-empty list and `otherData`
+   carries a positive `wall_ns`.
+2. Per-event schema: every event is a complete `"ph": "X"` duration
+   event with a non-empty name, numeric non-negative `ts`/`dur`,
+   integral `pid`/`tid`, and an `args.depth` nesting level (plus an
+   optional non-negative `args.bytes`).
+3. Nesting: on each thread, a span at depth d+1 lies inside an
+   enclosing span at depth d, and the direct children of any span sum
+   to at most its own duration (small tolerance for the exporter's
+   microsecond rounding).
+4. Timing closure: the trace's span extent matches `otherData.wall_ns`
+   within 10%, and for a CLI root span (`cli.*`, the bracket the file
+   tool opens around the whole run) the direct children must account
+   for at least 90% of the root's time — the acceptance bar for "the
+   per-stage times sum to the wall time".
+
+Exit 0 when the trace holds together, 1 with a per-failure report
+otherwise. Stdlib only.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+# Exporter rounds ts/dur to 1ns (3 decimals in microseconds); allow a
+# couple of ulps per event when summing children against a parent.
+ROUND_EPS_US = 0.002
+# Direct children of a CLI root span must cover this fraction of it.
+CLOSURE_MIN = 0.90
+# Span extent vs otherData.wall_ns agreement.
+WALL_TOLERANCE = 0.10
+# Skip the closure check on roots shorter than this: on a micro-run,
+# fixed per-process costs (arg parsing, printf) legitimately dominate.
+CLOSURE_MIN_ROOT_US = 1000.0
+
+errors = []
+
+
+def fail(msg: str) -> None:
+    errors.append(msg)
+
+
+def check_schema(trace: dict) -> list:
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing, not a list, or empty")
+        return []
+    other = trace.get("otherData")
+    if not isinstance(other, dict) or not isinstance(
+            other.get("wall_ns"), int) or other["wall_ns"] <= 0:
+        fail("otherData.wall_ns missing or not a positive integer")
+    ok = []
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            fail(f"{where}: not an object")
+            continue
+        bad = False
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            fail(f"{where}: missing or empty name")
+            bad = True
+        if e.get("ph") != "X":
+            fail(f"{where} ({e.get('name', '?')}): ph is {e.get('ph')!r}, "
+                 "expected complete event \"X\"")
+            bad = True
+        for key in ("ts", "dur"):
+            v = e.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                    or v < 0:
+                fail(f"{where} ({e.get('name', '?')}): {key} is {v!r}, "
+                     "expected a non-negative number")
+                bad = True
+        for key in ("pid", "tid"):
+            if not isinstance(e.get(key), int) or isinstance(e.get(key), bool):
+                fail(f"{where} ({e.get('name', '?')}): {key} is "
+                     f"{e.get(key)!r}, expected an integer")
+                bad = True
+        args = e.get("args")
+        if not isinstance(args, dict) or not isinstance(
+                args.get("depth"), int) or args["depth"] < 0:
+            fail(f"{where} ({e.get('name', '?')}): args.depth missing or "
+                 "not a non-negative integer")
+            bad = True
+        elif "bytes" in args and (not isinstance(args["bytes"], int)
+                                  or args["bytes"] < 0):
+            fail(f"{where} ({e.get('name', '?')}): args.bytes is "
+                 f"{args['bytes']!r}, expected a non-negative integer")
+            bad = True
+        if not bad:
+            ok.append(e)
+    return ok
+
+
+def direct_children(parent, same_tid):
+    """Events one level deeper that start inside the parent."""
+    lo, hi = parent["ts"], parent["ts"] + parent["dur"]
+    d = parent["args"]["depth"]
+    return [c for c in same_tid
+            if c["args"]["depth"] == d + 1
+            and lo - ROUND_EPS_US <= c["ts"] <= hi + ROUND_EPS_US]
+
+
+def check_nesting(events: list) -> None:
+    by_tid = {}
+    for e in events:
+        by_tid.setdefault(e["tid"], []).append(e)
+    for tid, evs in sorted(by_tid.items()):
+        evs.sort(key=lambda e: (e["ts"], e["args"]["depth"]))
+        for parent in evs:
+            kids = direct_children(parent, evs)
+            eps = ROUND_EPS_US * (len(kids) + 1)
+            for c in kids:
+                if c["ts"] + c["dur"] > parent["ts"] + parent["dur"] + eps:
+                    fail(f"tid {tid}: child span {c['name']!r} "
+                         f"(ends {c['ts'] + c['dur']:.3f}us) escapes parent "
+                         f"{parent['name']!r} "
+                         f"(ends {parent['ts'] + parent['dur']:.3f}us)")
+            kid_sum = sum(c["dur"] for c in kids)
+            if kid_sum > parent["dur"] + eps:
+                fail(f"tid {tid}: children of {parent['name']!r} sum to "
+                     f"{kid_sum:.3f}us > its own {parent['dur']:.3f}us")
+
+
+def check_closure(trace: dict, events: list) -> None:
+    extent_us = max(e["ts"] + e["dur"] for e in events) \
+        - min(e["ts"] for e in events)
+    wall_ns = trace.get("otherData", {}).get("wall_ns")
+    if isinstance(wall_ns, int) and wall_ns > 0:
+        ratio = extent_us * 1e3 / wall_ns
+        if abs(ratio - 1.0) > WALL_TOLERANCE:
+            fail(f"span extent {extent_us * 1e3:.0f}ns disagrees with "
+                 f"otherData.wall_ns {wall_ns} ({ratio:.3f}x, "
+                 f"tolerance {WALL_TOLERANCE:.0%})")
+
+    roots = [e for e in events
+             if e["args"]["depth"] == 0 and e["name"].startswith("cli.")]
+    if len(roots) > 1:
+        fail(f"{len(roots)} cli.* root spans, expected at most one")
+        return
+    for root in roots:
+        if root["dur"] < CLOSURE_MIN_ROOT_US:
+            print(f"  note: root {root['name']} too short "
+                  f"({root['dur']:.0f}us) for the closure check; skipped")
+            continue
+        same_tid = [e for e in events if e["tid"] == root["tid"]]
+        kid_sum = sum(c["dur"] for c in direct_children(root, same_tid))
+        if kid_sum < CLOSURE_MIN * root["dur"]:
+            fail(f"direct children of {root['name']} cover only "
+                 f"{kid_sum / root['dur']:.1%} of its {root['dur']:.0f}us "
+                 f"(floor {CLOSURE_MIN:.0%}) — an uninstrumented stage is "
+                 "eating wall time")
+
+
+def validate(path: Path) -> int:
+    try:
+        trace = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_trace: cannot parse {path}: {exc}", file=sys.stderr)
+        return 1
+    events = check_schema(trace)
+    if events:
+        check_nesting(events)
+        check_closure(trace, events)
+    if errors:
+        print(f"check_trace: {path}: {len(errors)} problem(s)",
+              file=sys.stderr)
+        for e in errors:
+            print(f"  - {e}", file=sys.stderr)
+        return 1
+    names = sorted({e["name"] for e in events})
+    print(f"check_trace: {path} OK — {len(events)} events, "
+          f"{len(names)} distinct spans ({', '.join(names[:8])}"
+          f"{', ...' if len(names) > 8 else ''})")
+    return 0
+
+
+def generate_and_validate(tool: str) -> int:
+    # The subprocesses run inside a temp dir; a relative tool path like
+    # ./build/tac_file_tool must resolve against the caller's cwd.
+    if Path(tool).exists():
+        tool = str(Path(tool).resolve())
+    with tempfile.TemporaryDirectory(prefix="tac_trace.") as work:
+        work = Path(work)
+        for cmd in ([tool, "gen", "in.amr", "64"],
+                    [tool, "compress", "in.amr", "out.tac", "1e-4",
+                     "--method=auto", "--trace=trace.json"]):
+            r = subprocess.run(cmd, cwd=work, stdout=subprocess.DEVNULL,
+                               stderr=subprocess.PIPE, text=True)
+            if r.returncode != 0:
+                print(f"check_trace: {' '.join(cmd[1:])} exited "
+                      f"{r.returncode}:\n{r.stderr}", file=sys.stderr)
+                return 1
+        trace = work / "trace.json"
+        if not trace.exists():
+            print("check_trace: --trace=trace.json wrote nothing",
+                  file=sys.stderr)
+            return 1
+        return validate(trace)
+
+
+def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--generate":
+        return generate_and_validate(sys.argv[2])
+    if len(sys.argv) == 2 and not sys.argv[1].startswith("-"):
+        return validate(Path(sys.argv[1]))
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,10 @@ files may disagree on row count or carry extra JSON keys (new presets,
 new per-row fields) without breaking the comparison. Rows present on
 only one side are listed but never gate. Matched rows are printed
 worst-regression-first with their time delta; only the aggregate gates.
+
+The top-level "stages" key (per-method telemetry stage breakdown, see
+docs/TELEMETRY.md) is deliberately ignored: stage names come and go
+with instrumentation changes, which must never read as a perf delta.
 """
 
 import json

@@ -27,6 +27,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/telemetry.hpp"
+
 namespace tac {
 
 class ScratchArena {
@@ -53,6 +55,26 @@ class ScratchArena {
   }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Publish this thread's stats into the telemetry counter registry:
+  /// monotonic fields as deltas since the last publish, peaks via
+  /// record_max. Called at outermost-scope exit and from the telemetry
+  /// collect hook; cheap no-op when counters are off.
+  void publish_stats() {
+    if (!telemetry::counters_enabled()) return;
+    TAC_COUNTER_ADD("arena.scope_enters",
+                    stats_.scope_enters - published_.scope_enters);
+    TAC_COUNTER_ADD("arena.allocs", stats_.allocs - published_.allocs);
+    TAC_COUNTER_ADD("arena.bytes_served",
+                    stats_.bytes_served - published_.bytes_served);
+    TAC_COUNTER_ADD("arena.block_allocs",
+                    stats_.block_allocs - published_.block_allocs);
+    TAC_COUNTER_ADD("arena.large_allocs",
+                    stats_.large_allocs - published_.large_allocs);
+    TAC_COUNTER_MAX("arena.high_water", stats_.high_water);
+    TAC_COUNTER_MAX("arena.retained_peak", stats_.retained);
+    published_ = stats_;
+  }
 
  private:
   friend class ArenaScope;
@@ -128,6 +150,14 @@ class ScratchArena {
     b.mem = std::make_unique<std::byte[]>(b.size);
     stats_.retained = b.size;
     blocks_.push_back(std::move(b));
+    // One process-wide hook: a counter snapshot publishes the collecting
+    // thread's pending arena stats (other threads publish at their own
+    // outermost-scope exits).
+    static const bool hook_registered = [] {
+      telemetry::register_collect_hook([] { local().publish_stats(); });
+      return true;
+    }();
+    (void)hook_registered;
   }
 
   std::vector<Block> blocks_;
@@ -135,6 +165,7 @@ class ScratchArena {
   std::size_t live_ = 0;
   unsigned depth_ = 0;
   Stats stats_;
+  Stats published_;  ///< values already pushed to the counter registry
 };
 
 /// RAII scratch scope on the calling thread's arena. Allocations made
@@ -163,7 +194,10 @@ class ArenaScope {
     arena_.live_ = saved_live_;
     arena_.large_.resize(saved_large_);
     arena_.depth_ -= 1;
-    if (arena_.depth_ == 0) arena_.consolidate();
+    if (arena_.depth_ == 0) {
+      arena_.consolidate();
+      arena_.publish_stats();
+    }
   }
 
   ArenaScope(const ArenaScope&) = delete;

@@ -30,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/telemetry.hpp"
+
 namespace tac::detail {
 
 class ThreadPool {
@@ -53,6 +55,8 @@ class ThreadPool {
     {
       const std::lock_guard<std::mutex> lock(m_);
       loops_.push_back(loop);
+      TAC_COUNTER_ADD("pool.loops_submitted", 1);
+      TAC_COUNTER_MAX("pool.queue_depth_peak", loops_.size());
     }
     cv_.notify_all();
   }
@@ -61,11 +65,14 @@ class ThreadPool {
   /// left unclaimed. The caller participates instead of oversubscribing
   /// with an extra idle thread.
   void drain(Loop& loop) {
+    std::size_t ran = 0;
     for (;;) {
       const std::size_t c = loop.next.fetch_add(1, std::memory_order_relaxed);
-      if (c >= loop.chunks) return;
+      if (c >= loop.chunks) break;
+      ++ran;
       run_one(loop, c);
     }
+    TAC_COUNTER_ADD("pool.chunks_inline", ran);
   }
 
   /// Blocks until every chunk of `loop` has finished (claimed chunks are
@@ -129,6 +136,9 @@ class ThreadPool {
       }
       if (!loop) continue;
       lock.unlock();
+      // A chunk claimed here ran on a pool worker rather than the
+      // submitting thread: a steal, in work-stealing terms.
+      TAC_COUNTER_ADD("pool.chunks_stolen", 1);
       run_one(*loop, c);
       lock.lock();
     }

@@ -6,6 +6,7 @@
 #include "amr/uniform.hpp"
 #include "common/arena.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry.hpp"
 #include "common/timer.hpp"
 #include "core/backend.hpp"
 #include "sz/resolve.hpp"
@@ -65,6 +66,7 @@ class OneDBackend final : public CompressorBackend {
 
   [[nodiscard]] CompressedAmr compress(const amr::AmrDataset& ds,
                                        const TacConfig& cfg) const override {
+    TAC_SPAN("oned.compress");
     Timer total;
     CompressReport report;
     report.method = Method::kOneD;
@@ -100,6 +102,7 @@ class OneDBackend final : public CompressorBackend {
   [[nodiscard]] amr::AmrDataset decompress(
       ByteReader& r, amr::AmrDataset skeleton,
       const CommonHeader& header) const override {
+    TAC_SPAN("oned.decompress");
     for (std::size_t l = 0; l < skeleton.num_levels(); ++l)
       decode_level(r, skeleton.level(l), payload_profile(header, l));
     return skeleton;
@@ -139,6 +142,7 @@ class OneDBackend final : public CompressorBackend {
   /// encoding never depends on sibling levels.
   static LevelPayload encode_level(const amr::AmrLevel& lv,
                                    const TacConfig& cfg) {
+    TAC_SPAN("oned.level_encode");
     LevelPayload out;
     out.report.method = Method::kOneD;
     out.report.valid_cells = lv.valid_count();
@@ -169,6 +173,7 @@ class OneDBackend final : public CompressorBackend {
 
   static void decode_level(ByteReader& r, amr::AmrLevel& lv,
                            std::optional<lossless::CodecProfile> expected) {
+    TAC_SPAN("oned.level_decode");
     const auto stream = r.get_blob();
     if (stream.empty()) {
       lv.scatter_valid({});
@@ -186,6 +191,7 @@ class ZMeshBackend final : public CompressorBackend {
 
   [[nodiscard]] CompressedAmr compress(const amr::AmrDataset& ds,
                                        const TacConfig& cfg) const override {
+    TAC_SPAN("zmesh.compress");
     Timer total;
     ByteWriter w;
     // One interleaved stream spanning every level: a single payload (and
@@ -235,6 +241,7 @@ class ZMeshBackend final : public CompressorBackend {
   [[nodiscard]] amr::AmrDataset decompress(
       ByteReader& r, amr::AmrDataset skeleton,
       const CommonHeader& header) const override {
+    TAC_SPAN("zmesh.decompress");
     const auto stream = r.get_blob();
     if (stream.empty()) return skeleton;
     const auto values =
@@ -251,6 +258,7 @@ class Upsample3DBackend final : public CompressorBackend {
 
   [[nodiscard]] CompressedAmr compress(const amr::AmrDataset& ds,
                                        const TacConfig& cfg) const override {
+    TAC_SPAN("upsample3d.compress");
     Timer total;
     ByteWriter w;
     // Levels merge into one up-sampled uniform grid: a single payload —
@@ -294,6 +302,7 @@ class Upsample3DBackend final : public CompressorBackend {
   [[nodiscard]] amr::AmrDataset decompress(
       ByteReader& r, amr::AmrDataset skeleton,
       const CommonHeader& header) const override {
+    TAC_SPAN("upsample3d.decompress");
     const auto stream = r.get_blob();
     const auto flat =
         sz::decompress<double>(stream, payload_profile(header, 0));

@@ -6,6 +6,7 @@
 
 #include "amr/amr_io.hpp"
 #include "common/crc32.hpp"
+#include "common/telemetry.hpp"
 #include "core/backend.hpp"
 #include "lossless/codec.hpp"
 
@@ -108,6 +109,8 @@ void PayloadIndexBuilder::end_payload(Method chosen) {
   patch_payload_entry_v4(*w_, entries_pos_ + sealed_ * kPayloadEntryV4Bytes,
                          e);
   ++sealed_;
+  TAC_COUNTER_ADD("container.payloads_written", 1);
+  TAC_COUNTER_ADD("container.payload_bytes_written", e.length);
   open_begin_ = kNone;
 }
 
@@ -124,6 +127,7 @@ PayloadIndexBuilder write_common_header(ByteWriter& w, Method method,
                                         const amr::AmrDataset& ds,
                                         std::size_t n_payloads,
                                         lossless::CodecProfile profile) {
+  TAC_SPAN("container.header_write");
   w.put<std::uint32_t>(kMagic);
   w.put<std::uint8_t>(kFormatVersion);
   w.put<std::uint8_t>(static_cast<std::uint8_t>(method));
@@ -145,6 +149,7 @@ PayloadIndexBuilder write_common_header(ByteWriter& w, Method method,
 }
 
 CommonHeader read_common_header(ByteReader& r) {
+  TAC_SPAN("container.header_read");
   CommonHeader h;
   const HeaderPrefix prefix = read_header_prefix(r);
   h.method = prefix.method;
@@ -239,12 +244,16 @@ void verify_payload(std::span<const std::uint8_t> container,
         " index entry [offset " + std::to_string(e.offset) + ", length " +
         std::to_string(e.length) + "] exceeds the " +
         std::to_string(container.size()) + "-byte container");
+  TAC_SPAN_BYTES("container.crc_verify", e.length);
+  TAC_COUNTER_ADD("container.crc_bytes_verified", e.length);
   const std::uint32_t actual = crc32(container.subspan(
       static_cast<std::size_t>(e.offset), static_cast<std::size_t>(e.length)));
-  if (actual != e.crc32)
+  if (actual != e.crc32) {
+    TAC_COUNTER_ADD("container.checksum_failures", 1);
     throw ChecksumError("container: payload " + std::to_string(i) +
                         " checksum mismatch (stored " + hex32(e.crc32) +
                         ", computed " + hex32(actual) + ")");
+  }
 }
 
 void verify_payloads(std::span<const std::uint8_t> container,

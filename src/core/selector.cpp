@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/parallel.hpp"
+#include "common/telemetry.hpp"
 #include "common/timer.hpp"
 #include "core/block_grid.hpp"
 
@@ -133,6 +134,7 @@ std::vector<Method> selector_candidates(const SelectorConfig& cfg) {
 
 SelectionDecision select_for_level(const amr::AmrLevel& lv, std::size_t level,
                                    const TacConfig& cfg) {
+  TAC_SPAN("selector.select_level");
   Timer total;
   const std::vector<Method> candidates = selector_candidates(cfg.selector);
 
@@ -169,16 +171,20 @@ SelectionDecision select_for_level(const amr::AmrLevel& lv, std::size_t level,
         select_strategy(occupancy_density(occ), cfg.t1, cfg.t2);
 
   d.trials.reserve(candidates.size());
+  TAC_COUNTER_ADD("selector.sampled_blocks", sampled.size());
   for (Method m : candidates) {
     CandidateTrial t;
     t.method = m;
+    TAC_SPAN_NAMED(trial_span, "selector.trial");
     Timer encode;
     const LevelPayload p =
         backend_for(m).compress_level_payload(sample, level, trial_cfg);
     t.trial_seconds = encode.seconds();
     t.trial_bytes = p.bytes.size();
+    trial_span.set_bytes(p.bytes.size());
     d.trials.push_back(t);
   }
+  TAC_COUNTER_ADD("selector.trials", d.trials.size());
   score_trials(d.trials, cfg.selector);
 
   // Strict less-than over tag-ascending trials: ties deterministically go
@@ -190,6 +196,8 @@ SelectionDecision select_for_level(const amr::AmrLevel& lv, std::size_t level,
       best = t.score;
       d.winner = t.method;
     }
+  TAC_COUNTER_ADD("selector.trials_won", 1);
+  TAC_COUNTER_ADD("selector.trials_lost", d.trials.size() - 1);
   d.seconds = total.seconds();
   return d;
 }
@@ -221,6 +229,7 @@ class AutoBackend final : public CompressorBackend {
       throw std::invalid_argument("auto: block_size must be > 0");
     (void)selector_candidates(cfg.selector);  // validate before any work
 
+    TAC_SPAN("auto.compress");
     Timer total;
     CompressReport report;
     report.method = Method::kAuto;

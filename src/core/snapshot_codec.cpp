@@ -6,6 +6,7 @@
 #include "common/bytes.hpp"
 #include "common/crc32.hpp"
 #include "common/parallel.hpp"
+#include "common/telemetry.hpp"
 #include "core/adaptive.hpp"
 #include "core/backend.hpp"
 #include "core/container.hpp"
@@ -107,12 +108,17 @@ std::vector<std::uint8_t> write_snapshot(const amr::Snapshot& s,
                                          EncodeField&& encode_field) {
   if (s.fields.empty())
     throw std::invalid_argument("compress_snapshot: no fields");
+  TAC_SPAN("snapshot.compress");
+  TAC_COUNTER_ADD("snapshot.fields_written", s.fields.size());
   // Fields are independent containers: compress them concurrently and
   // serialize in field order so the snapshot bytes stay deterministic.
   std::vector<std::vector<std::uint8_t>> blobs(s.fields.size());
   parallel_for(
       0, s.fields.size(),
-      [&](std::size_t i) { blobs[i] = encode_field(s.fields[i]); },
+      [&](std::size_t i) {
+        TAC_SPAN("snapshot.field_compress");
+        blobs[i] = encode_field(s.fields[i]);
+      },
       /*grain=*/1);
   ByteWriter w;
   w.put<std::uint32_t>(kMagic);
@@ -154,14 +160,17 @@ std::vector<std::uint8_t> compress_snapshot(const amr::Snapshot& s,
 }
 
 amr::Snapshot decompress_snapshot(std::span<const std::uint8_t> bytes) {
+  TAC_SPAN_BYTES("snapshot.decompress", bytes.size());
   const ParsedSnapshot parsed = parse_snapshot(bytes);
   amr::Snapshot s;
   s.fields.resize(parsed.blobs.size());
+  TAC_COUNTER_ADD("snapshot.fields_read", parsed.blobs.size());
   // Indexed fields are independent slices: verify and decode them through
   // the same parallel pipeline the compressor uses.
   parallel_for(
       0, parsed.blobs.size(),
       [&](std::size_t i) {
+        TAC_SPAN("snapshot.field_decompress");
         verify_field(parsed, i);
         s.fields[i] = decompress_any(parsed.blobs[i]);
       },

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/parallel.hpp"
+#include "common/telemetry.hpp"
 #include "common/timer.hpp"
 #include "core/backend.hpp"
 #include "core/extraction.hpp"
@@ -105,6 +106,7 @@ void apply_mask(amr::AmrLevel& lv) {
 /// pre-v3 containers → lenient decode).
 void decode_tac_level(ByteReader& r, amr::AmrLevel& lv,
                       std::optional<lossless::CodecProfile> expected) {
+  TAC_SPAN("tac.level_decode");
   const auto strategy = static_cast<Strategy>(r.get<std::uint8_t>());
   const std::size_t block_size = static_cast<std::size_t>(r.get_varint());
   if (block_size == 0)
@@ -141,6 +143,7 @@ void decode_tac_level(ByteReader& r, amr::AmrLevel& lv,
 /// sampled stand-in levels through the same code path.
 LevelPayload compress_level(const amr::AmrLevel& lv, std::size_t level,
                             const TacConfig& cfg) {
+  TAC_SPAN("tac.level_compress");
   LevelPayload out;
   LevelReport& lr = out.report;
   lr.method = Method::kTac;
@@ -165,17 +168,23 @@ LevelPayload compress_level(const amr::AmrLevel& lv, std::size_t level,
     case Strategy::kOpST:
     case Strategy::kAKDTree: {
       std::vector<SubBlock> subs;
-      if (lr.strategy == Strategy::kNaST)
-        subs = nast_extract(occ);
-      else if (lr.strategy == Strategy::kOpST)
-        subs = opst_extract(occ);
-      else
-        subs = akdtree_extract(occ);
+      {
+        TAC_SPAN("tac.extract");
+        if (lr.strategy == Strategy::kNaST)
+          subs = nast_extract(occ);
+        else if (lr.strategy == Strategy::kOpST)
+          subs = opst_extract(occ);
+        else
+          subs = akdtree_extract(occ);
+      }
       // Arena-backed group buffers: gathered, compressed and serialized
       // before the scope closes, so a steady-state level pipeline reuses
       // the same retained blocks instead of heap-allocating per group.
       ArenaScope scratch;
-      auto groups = gather_groups(lv, grid, subs, scratch);
+      auto groups = [&] {
+        TAC_SPAN("tac.gather_groups");
+        return gather_groups(lv, grid, subs, scratch);
+      }();
       lr.preprocess_seconds = pre.seconds();
       lr.n_sub_blocks = subs.size();
       lr.n_groups = groups.size();
@@ -241,6 +250,7 @@ class TacBackend final : public CompressorBackend {
     if (cfg.block_size == 0)
       throw std::invalid_argument("tac_compress: block_size must be > 0");
 
+    TAC_SPAN("tac.compress");
     Timer total;
     CompressReport report;
     report.method = Method::kTac;
@@ -329,6 +339,7 @@ CompressedAmr tac_compress(const amr::AmrDataset& ds, const TacConfig& cfg) {
 }
 
 amr::AmrDataset decompress_any(std::span<const std::uint8_t> bytes) {
+  TAC_SPAN_BYTES("core.decompress_any", bytes.size());
   ByteReader r(bytes);
   CommonHeader h = read_common_header(r);
   // v2+: every payload is about to be read — catch corruption up front as

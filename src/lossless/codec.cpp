@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/telemetry.hpp"
 #include "lossless/lzss.hpp"
 
 namespace tac::lossless {
@@ -36,18 +37,28 @@ bool method_allowed(Method m, CodecProfile profile) {
 }
 
 std::vector<std::uint8_t> decode_method(Method method, ByteReader& r) {
+  TAC_SPAN_NAMED(span, "lzss.decompress");
+  TAC_COUNTER_ADD("lzss.bytes_in", r.remaining());
+  std::vector<std::uint8_t> out;
   switch (method) {
     case Method::kLzss:
-      return lzss_decompress(r.get_bytes(r.remaining()));
+      out = lzss_decompress(r.get_bytes(r.remaining()));
+      break;
     case Method::kLzss2:
-      return lzss2_decompress(r.get_bytes(r.remaining()));
+      out = lzss2_decompress(r.get_bytes(r.remaining()));
+      break;
     case Method::kStored: {
       const std::uint64_t n = r.get_varint();
       const auto bytes = r.get_bytes(static_cast<std::size_t>(n));
-      return {bytes.begin(), bytes.end()};
+      out.assign(bytes.begin(), bytes.end());
+      break;
     }
+    default:
+      throw std::runtime_error("lossless: unknown method byte");
   }
-  throw std::runtime_error("lossless: unknown method byte");
+  span.set_bytes(out.size());
+  TAC_COUNTER_ADD("lzss.bytes_out", out.size());
+  return out;
 }
 
 }  // namespace
@@ -75,6 +86,8 @@ void set_default_profile(CodecProfile p) {
 
 std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input,
                                    CodecProfile profile) {
+  TAC_SPAN_BYTES("lzss.compress", input.size());
+  TAC_COUNTER_ADD("lzss.compress_bytes_in", input.size());
   auto packed = profile == CodecProfile::kFast ? lzss2_compress(input)
                                                : lzss_compress(input);
   ByteWriter w;
@@ -87,7 +100,9 @@ std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input,
     w.put_varint(input.size());
     w.put_bytes(input);
   }
-  return w.take();
+  auto out = w.take();
+  TAC_COUNTER_ADD("lzss.compress_bytes_out", out.size());
+  return out;
 }
 
 std::vector<std::uint8_t> decompress(

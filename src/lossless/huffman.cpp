@@ -10,6 +10,7 @@
 #include "common/arena.hpp"
 #include "common/bitio.hpp"
 #include "common/bytes.hpp"
+#include "common/telemetry.hpp"
 
 namespace tac::lossless {
 namespace {
@@ -490,24 +491,38 @@ HuffmanTable huffman_table_deserialize(std::span<const std::uint8_t> bytes) {
 
 std::vector<std::uint8_t> huffman_compress(
     std::span<const std::uint32_t> symbols) {
-  const HuffmanTable table = huffman_build(symbols);
+  TAC_SPAN_NAMED(span, "huffman.compress");
+  TAC_COUNTER_ADD("huffman.encode_symbols", symbols.size());
   ByteWriter w;
   w.put_varint(symbols.size());
-  const auto tbl = huffman_table_serialize(table);
-  w.put_blob(tbl);
-  const auto payload = huffman_encode(table, symbols);
-  w.put_blob(payload);
-  return w.take();
+  HuffmanTable table;
+  {
+    TAC_SPAN("huffman.build");
+    table = huffman_build(symbols);
+  }
+  w.put_blob(huffman_table_serialize(table));
+  {
+    TAC_SPAN_BYTES("huffman.encode", symbols.size_bytes());
+    w.put_blob(huffman_encode(table, symbols));
+  }
+  auto out = w.take();
+  span.set_bytes(out.size());
+  TAC_COUNTER_ADD("huffman.encode_bytes_out", out.size());
+  return out;
 }
 
 std::vector<std::uint32_t> huffman_decompress(
     std::span<const std::uint8_t> bytes) {
+  TAC_SPAN_NAMED(span, "huffman.decode");
   ByteReader r(bytes);
   const std::uint64_t count = r.get_varint();
   const auto tbl_bytes = r.get_blob();
   const HuffmanTable table = huffman_table_deserialize(tbl_bytes);
   const auto payload = r.get_blob();
-  return huffman_decode(table, payload, static_cast<std::size_t>(count));
+  auto out = huffman_decode(table, payload, static_cast<std::size_t>(count));
+  span.set_bytes(out.size() * sizeof(std::uint32_t));
+  TAC_COUNTER_ADD("huffman.decode_symbols", out.size());
+  return out;
 }
 
 }  // namespace tac::lossless

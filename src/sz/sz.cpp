@@ -12,6 +12,7 @@
 #include "common/bytes.hpp"
 #include "common/parallel.hpp"
 #include "common/simd.hpp"
+#include "common/telemetry.hpp"
 #include "lossless/codec.hpp"
 #include "lossless/huffman.hpp"
 #include "sz/predictor.hpp"
@@ -888,6 +889,10 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims3 dims,
   if (cfg.predictor == Predictor::kHybrid && cfg.pred_block < 2)
     throw std::invalid_argument("sz::compress: pred_block must be >= 2");
 
+  TAC_SPAN_BYTES("sz.compress", data.size_bytes());
+  TAC_COUNTER_ADD("sz.bytes_in", data.size_bytes());
+  TAC_COUNTER_ADD("sz.blocks", nblocks);
+
   if (cfg.mode == ErrorBoundMode::kPointwiseRelative) {
     if (!(cfg.error_bound > 0) || !std::isfinite(cfg.error_bound))
       throw std::invalid_argument(
@@ -942,7 +947,10 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims3 dims,
     return w.take();
   }
 
-  const ValueRange range = scan_range(data);
+  const ValueRange range = [&] {
+    TAC_SPAN_BYTES("sz.scan_range", data.size_bytes());
+    return scan_range(data);
+  }();
   const double span_val =
       std::isfinite(range.hi - range.lo) && range.hi > range.lo
           ? range.hi - range.lo
@@ -985,21 +993,24 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims3 dims,
   const auto recon = scratch.alloc<T>(data.size());
   const auto offsets = scratch.alloc<std::size_t>(nblocks + 1);
   std::vector<TilePlan> plans(hybrid ? nblocks : 0);
-  parallel_for(
-      0, nblocks,
-      [&](std::size_t b) {
-        const TilePlan* plan = nullptr;
-        if (hybrid) {
-          plans[b] = plan_tiles(data.data() + b * vol, dims, cfg.pred_block);
-          plan = &plans[b];
-        }
-        offsets[b + 1] =
-            quantize_block(data.data() + b * vol, dims, abs_eb,
-                           cfg.quant_radius, codes.data() + b * vol,
-                           recon.data() + b * vol, plan,
-                           cfg.profile == lossless::CodecProfile::kFast);
-      },
-      /*grain=*/1);
+  {
+    TAC_SPAN_BYTES("sz.quantize", data.size_bytes());
+    parallel_for(
+        0, nblocks,
+        [&](std::size_t b) {
+          const TilePlan* plan = nullptr;
+          if (hybrid) {
+            plans[b] = plan_tiles(data.data() + b * vol, dims, cfg.pred_block);
+            plan = &plans[b];
+          }
+          offsets[b + 1] =
+              quantize_block(data.data() + b * vol, dims, abs_eb,
+                             cfg.quant_radius, codes.data() + b * vol,
+                             recon.data() + b * vol, plan,
+                             cfg.profile == lossless::CodecProfile::kFast);
+        },
+        /*grain=*/1);
+  }
 
   offsets[0] = 0;
   for (std::size_t b = 0; b < nblocks; ++b) offsets[b + 1] += offsets[b];
@@ -1008,16 +1019,20 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims3 dims,
   // their exact values are the original data — gather them in scan order
   // (the same order the old per-block vectors accumulated them in).
   const auto outliers = scratch.alloc<T>(offsets[nblocks]);
-  parallel_for(
-      0, nblocks,
-      [&](std::size_t b) {
-        std::size_t k = offsets[b];
-        const std::uint32_t* bc = codes.data() + b * vol;
-        const T* bd = data.data() + b * vol;
-        for (std::size_t i = 0; i < vol; ++i)
-          if (bc[i] == 0) outliers[k++] = bd[i];
-      },
-      /*grain=*/1);
+  TAC_COUNTER_ADD("sz.outliers", offsets[nblocks]);
+  {
+    TAC_SPAN("sz.outlier_gather");
+    parallel_for(
+        0, nblocks,
+        [&](std::size_t b) {
+          std::size_t k = offsets[b];
+          const std::uint32_t* bc = codes.data() + b * vol;
+          const T* bd = data.data() + b * vol;
+          for (std::size_t i = 0; i < vol; ++i)
+            if (bc[i] == 0) outliers[k++] = bd[i];
+        },
+        /*grain=*/1);
+  }
 
   ByteWriter counts_w;
   for (std::size_t b = 0; b < nblocks; ++b)
@@ -1057,7 +1072,9 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims3 dims,
     w.put_blob(lossless::compress(mode_bits, cfg.profile));
     w.put_blob(lossless::compress(coeff_bytes, cfg.profile));
   }
-  return w.take();
+  auto out = w.take();
+  TAC_COUNTER_ADD("sz.bytes_out", out.size());
+  return out;
 }
 
 namespace {
@@ -1097,6 +1114,8 @@ Header read_header(ByteReader& r) {
 template <class T>
 std::vector<T> decompress(std::span<const std::uint8_t> bytes,
                           std::optional<lossless::CodecProfile> expected) {
+  TAC_SPAN_BYTES("sz.decompress", bytes.size());
+  TAC_COUNTER_ADD("sz.decompress_bytes_in", bytes.size());
   ByteReader r(bytes);
   Header h = read_header(r);
   if (h.info.scalar_size != sizeof(T))
@@ -1203,15 +1222,19 @@ std::vector<T> decompress(std::span<const std::uint8_t> bytes,
   const double eb = h.info.abs_error_bound;
   const std::uint32_t radius = h.cfg.quant_radius;
   const bool wide = expected == lossless::CodecProfile::kFast;
-  parallel_for(
-      0, h.info.nblocks,
-      [&](std::size_t b) {
-        reconstruct_block(codes.data() + b * vol, h.info.block_dims, eb,
-                          radius, outliers.data() + offsets[b],
-                          offsets[b + 1] - offsets[b], out.data() + b * vol,
-                          plans.empty() ? nullptr : &plans[b], wide);
-      },
-      /*grain=*/1);
+  {
+    TAC_SPAN_BYTES("sz.reconstruct", total * sizeof(T));
+    parallel_for(
+        0, h.info.nblocks,
+        [&](std::size_t b) {
+          reconstruct_block(codes.data() + b * vol, h.info.block_dims, eb,
+                            radius, outliers.data() + offsets[b],
+                            offsets[b + 1] - offsets[b], out.data() + b * vol,
+                            plans.empty() ? nullptr : &plans[b], wide);
+        },
+        /*grain=*/1);
+  }
+  TAC_COUNTER_ADD("sz.decompress_bytes_out", out.size() * sizeof(T));
   return out;
 }
 
